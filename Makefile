@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: build test race bench report figures inputs clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure at small scale.
+report:
+	$(GO) run ./cmd/rpbreport -what all -scale small
+
+# The paper-scale (default) evaluation; slower.
+figures:
+	$(GO) run ./cmd/rpbreport -what all -scale default
+
+# Export PBBS-format inputs for interchange with C++ PBBS / Rust RPB.
+inputs:
+	$(GO) run ./cmd/rpbgen -scale small -out ./inputs
+
+clean:
+	rm -rf ./inputs

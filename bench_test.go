@@ -1,0 +1,139 @@
+// Suite-level benchmarks: one testing.B benchmark per table/figure of
+// the paper's evaluation. Each benchmark drives the same code paths the
+// rpbreport tool uses, so `go test -bench=.` regenerates the raw
+// numbers behind every artifact. Per-benchmark sub-benchmarks report
+// seconds-of-kernel-time via b.ReportMetric in addition to ns/op.
+//
+// Scale note: these run at ScaleTest so the whole suite benches in
+// minutes; use cmd/rpbreport -scale small|default for the full-size
+// numbers recorded in EXPERIMENTS.md.
+package repro
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+const benchThreads = 4
+
+// BenchmarkTable1Patterns regenerates the Table 1 pattern census.
+func BenchmarkTable1Patterns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		report.Table1(&sb)
+		if !strings.Contains(sb.String(), "sssp") {
+			b.Fatal("census incomplete")
+		}
+	}
+}
+
+// BenchmarkTable2Graphs regenerates the Table 2 input statistics.
+func BenchmarkTable2Graphs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		report.Table2(&sb, bench.ScaleTest)
+	}
+}
+
+// BenchmarkFig3Census regenerates the Fig 3 access-pattern distribution.
+func BenchmarkFig3Census(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		report.Fig3(&sb)
+	}
+}
+
+// benchPair measures a single bench-input pair under one variant and
+// thread count, as the Fig 4 harness does.
+func benchPair(b *testing.B, name, input string, v bench.Variant, threads int) {
+	spec, err := bench.Find(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := spec.Make(input, bench.ScaleTest)
+	b.ResetTimer()
+	total := 0.0
+	for i := 0; i < b.N; i++ {
+		secs, err := bench.Measure(inst, v, threads, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += secs
+	}
+	b.ReportMetric(total/float64(b.N), "kernel-s/op")
+}
+
+// BenchmarkFig4a: every bench-input pair, library vs direct, 1 thread.
+func BenchmarkFig4a(b *testing.B) {
+	core.SetMode(core.ModeUnchecked)
+	for _, spec := range bench.All() {
+		for _, input := range spec.Inputs {
+			key := spec.Name + "-" + input
+			b.Run(key+"/direct", func(b *testing.B) { benchPair(b, spec.Name, input, bench.VariantDirect, 1) })
+			b.Run(key+"/rpb", func(b *testing.B) { benchPair(b, spec.Name, input, bench.VariantLibrary, 1) })
+		}
+	}
+}
+
+// BenchmarkFig4b: every bench-input pair at benchThreads threads.
+func BenchmarkFig4b(b *testing.B) {
+	core.SetMode(core.ModeUnchecked)
+	for _, spec := range bench.All() {
+		for _, input := range spec.Inputs {
+			key := spec.Name + "-" + input
+			b.Run(key+"/direct", func(b *testing.B) { benchPair(b, spec.Name, input, bench.VariantDirect, benchThreads) })
+			b.Run(key+"/rpb", func(b *testing.B) { benchPair(b, spec.Name, input, bench.VariantLibrary, benchThreads) })
+		}
+	}
+}
+
+// BenchmarkFig5a: checked vs unchecked SngInd on bw, lrs, sa.
+func BenchmarkFig5a(b *testing.B) {
+	defer core.SetMode(core.ModeUnchecked)
+	for _, name := range []string{"bw", "lrs", "sa"} {
+		spec, _ := bench.Find(name)
+		input := spec.Inputs[0]
+		b.Run(name+"/unchecked", func(b *testing.B) {
+			core.SetMode(core.ModeUnchecked)
+			benchPair(b, name, input, bench.VariantLibrary, benchThreads)
+		})
+		b.Run(name+"/checked", func(b *testing.B) {
+			core.SetMode(core.ModeChecked)
+			benchPair(b, name, input, bench.VariantLibrary, benchThreads)
+		})
+	}
+}
+
+// BenchmarkFig5b: synchronized vs unchecked expressions.
+func BenchmarkFig5b(b *testing.B) {
+	defer core.SetMode(core.ModeUnchecked)
+	pairs := []struct{ name, input string }{
+		{"bw", "wiki"}, {"lrs", "wiki"}, {"sa", "wiki"},
+		{"mis", "link"}, {"mm", "rmat"}, {"msf", "rmat"}, {"sf", "link"},
+		{"hist", "exponential"}, {"isort", "exponential"},
+	}
+	for _, p := range pairs {
+		b.Run(p.name+"-"+p.input+"/unchecked", func(b *testing.B) {
+			core.SetMode(core.ModeUnchecked)
+			benchPair(b, p.name, p.input, bench.VariantLibrary, benchThreads)
+		})
+		b.Run(p.name+"-"+p.input+"/synchronized", func(b *testing.B) {
+			core.SetMode(core.ModeSynchronized)
+			benchPair(b, p.name, p.input, bench.VariantLibrary, benchThreads)
+		})
+	}
+}
+
+// BenchmarkFig6 runs the appendix hash microbenchmark variants.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		report.Fig6(io.Discard, report.Fig6Config{
+			N: 1 << 18, TaskCap: 1 << 14, Threads: benchThreads, Reps: 1,
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package repro
+
+// End-to-end CLI tests: build each executable once and drive it the way
+// a user would, validating outputs. Guarded by -short since building
+// and running binaries dominates unit-test time.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles ./cmd/<name> into a temp dir and returns the path.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIRpb(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI test skipped in -short mode")
+	}
+	bin := buildTool(t, "rpb")
+
+	list := run(t, bin, "-list")
+	for _, name := range []string{"bw", "sssp", "dr"} {
+		if !strings.Contains(list, name) {
+			t.Errorf("-list missing %s:\n%s", name, list)
+		}
+	}
+
+	out := run(t, bin, "-bench", "hist", "-scale", "test", "-threads", "2", "-reps", "1")
+	if !strings.Contains(out, "verified") {
+		t.Errorf("run output missing verification: %s", out)
+	}
+
+	out = run(t, bin, "-bench", "sort", "-scale", "test", "-mode", "checked", "-variant", "rpb", "-reps", "1")
+	if !strings.Contains(out, "mode=checked") || !strings.Contains(out, "verified") {
+		t.Errorf("checked-mode run wrong: %s", out)
+	}
+
+	// Invalid flags exit non-zero.
+	for _, args := range [][]string{
+		{"-bench", "nope"},
+		{"-bench", "hist", "-mode", "bogus"},
+		{"-bench", "hist", "-scale", "bogus"},
+		{"-bench", "hist", "-variant", "bogus"},
+		{"-bench", "hist", "-input", "wrong"},
+		{},
+	} {
+		if err := exec.Command(bin, args...).Run(); err == nil {
+			t.Errorf("rpb %v should have failed", args)
+		}
+	}
+}
+
+func TestCLIRpbgenExportImport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI test skipped in -short mode")
+	}
+	bin := buildTool(t, "rpbgen")
+	dir := t.TempDir()
+
+	out := run(t, bin, "-scale", "test", "-what", "graphs", "-out", dir)
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("no files written: %s", out)
+	}
+	adj := filepath.Join(dir, "rmat.adj")
+	if _, err := os.Stat(adj); err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip: the written file summarizes to the same |V|.
+	stats := run(t, bin, "-in", adj)
+	if !strings.Contains(stats, "|V|=512") {
+		t.Errorf("reimported stats wrong: %s", stats)
+	}
+	// Table 2 path.
+	table := run(t, bin, "-stats", "-scale", "test")
+	if !strings.Contains(table, "Table 2") || !strings.Contains(table, "road") {
+		t.Errorf("stats output wrong: %s", table)
+	}
+}
+
+func TestCLIRpbreportArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI test skipped in -short mode")
+	}
+	bin := buildTool(t, "rpbreport")
+	out := run(t, bin, "-what", "table1")
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "sssp") {
+		t.Errorf("table1 output wrong: %s", out)
+	}
+	out = run(t, bin, "-what", "fig3")
+	if !strings.Contains(out, "irregular") {
+		t.Errorf("fig3 output wrong: %s", out)
+	}
+	out = run(t, bin, "-what", "fig5a", "-scale", "test", "-threads", "2", "-reps", "1")
+	if !strings.Contains(out, "checked") {
+		t.Errorf("fig5a output wrong: %s", out)
+	}
+}

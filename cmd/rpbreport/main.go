@@ -1,0 +1,87 @@
+// rpbreport regenerates the paper's tables and figures from live runs:
+//
+//	rpbreport -what table1|table2|table3|fig3|fig4|fig5a|fig5b|fig6|all
+//	          [-scale test|small|default] [-threads N] [-reps N]
+//	          [-benches sort,hist,...]
+//
+// Each output block names the paper artifact it reproduces and, where
+// the paper reports a headline number, quotes it for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		what    = flag.String("what", "all", "artifact: table1, table2, table3, fig3, fig4, fig5a, fig5b, fig6, dyncensus, sched, coverage, all")
+		scale   = flag.String("scale", "small", "input scale: test, small, or default")
+		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "parallel thread count (the paper's 24-core point)")
+		reps    = flag.Int("reps", 3, "repetitions per measurement")
+		benches = flag.String("benches", "", "comma-separated benchmark subset for fig4 (default: all)")
+	)
+	flag.Parse()
+
+	var sc bench.Scale
+	switch *scale {
+	case "test":
+		sc = bench.ScaleTest
+	case "small":
+		sc = bench.ScaleSmall
+	case "default":
+		sc = bench.ScaleDefault
+	default:
+		fmt.Fprintf(os.Stderr, "rpbreport: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	var subset []string
+	if *benches != "" {
+		subset = strings.Split(*benches, ",")
+	}
+
+	out := os.Stdout
+	run := func(name string, f func() error) {
+		if *what != name && *what != "all" {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "rpbreport: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out)
+	}
+
+	run("table1", func() error { report.Table1(out); return nil })
+	run("table2", func() error { report.Table2(out, sc); return nil })
+	run("table3", func() error { report.Table3(out); return nil })
+	run("fig3", func() error { report.Fig3(out); return nil })
+	run("fig4", func() error {
+		return report.Fig4(out, report.Fig4Config{
+			Scale: sc, Threads: *threads, Reps: *reps, Benches: subset,
+		})
+	})
+	run("fig5a", func() error {
+		return report.Fig5a(out, report.Fig5Config{Scale: sc, Threads: *threads, Reps: *reps})
+	})
+	run("fig5b", func() error {
+		return report.Fig5b(out, report.Fig5Config{Scale: sc, Threads: *threads, Reps: *reps})
+	})
+	run("fig6", func() error {
+		report.Fig6(out, report.Fig6Config{Threads: *threads, Reps: *reps})
+		return nil
+	})
+	run("dyncensus", func() error {
+		return report.DynCensus(out, sc, *threads)
+	})
+	run("sched", func() error {
+		return report.SchedReport(out, sc, "sort", []int{1, 2, 4, 8})
+	})
+	run("coverage", func() error { report.Coverage(out); return nil })
+}

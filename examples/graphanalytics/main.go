@@ -1,0 +1,92 @@
+// Graph analytics: generate an R-MAT graph, run MultiQueue-scheduled
+// BFS and SSSP over it (the paper's Sec 6 benchmarks), and report
+// reachability and distance statistics — the irregular, dynamically
+// scheduled end of the taxonomy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mq"
+)
+
+func main() {
+	scale := flag.Int("scale", 14, "R-MAT scale (2^scale vertices)")
+	workers := flag.Int("workers", 4, "MultiQueue worker threads")
+	flag.Parse()
+
+	var g *graph.WGraph
+	core.Run(func(w *core.Worker) {
+		edges := graph.RMAT(w, *scale, 8, 42)
+		sym := graph.Symmetrize(w, edges)
+		wedges := graph.AddWeights(w, sym, 100, 43)
+		g = graph.BuildWCSR(w, int32(1<<*scale), wedges)
+	})
+	fmt.Printf("graph: %d vertices, %d directed edges\n", g.N, g.M())
+
+	const inf = ^uint32(0)
+	dist := make([]uint32, g.N)
+
+	// BFS levels from vertex 0 over the MultiQueue.
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[0] = 0
+	mq.Process(*workers, []mq.Item{{Pri: 0, Val: 0}}, func(_ int, it mq.Item, push mq.Pusher) {
+		v := int32(it.Val)
+		d := uint32(it.Pri)
+		if atomic.LoadUint32(&dist[v]) < d {
+			return
+		}
+		for _, u := range g.Neighbors(v) {
+			if core.WriteMinU32(&dist[u], d+1) {
+				push.Push(mq.Item{Pri: uint64(d + 1), Val: uint64(u)})
+			}
+		}
+	})
+	reach, maxLevel := 0, uint32(0)
+	for _, d := range dist {
+		if d != inf {
+			reach++
+			if d > maxLevel {
+				maxLevel = d
+			}
+		}
+	}
+	fmt.Printf("bfs:  %d reachable vertices, eccentricity %d\n", reach, maxLevel)
+
+	// Weighted SSSP from vertex 0.
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[0] = 0
+	mq.Process(*workers, []mq.Item{{Pri: 0, Val: 0}}, func(_ int, it mq.Item, push mq.Pusher) {
+		v := int32(it.Val)
+		d := uint32(it.Pri)
+		if atomic.LoadUint32(&dist[v]) < d {
+			return
+		}
+		adj, wgt := g.WNeighbors(v)
+		for i, u := range adj {
+			nd := d + wgt[i]
+			if core.WriteMinU32(&dist[u], nd) {
+				push.Push(mq.Item{Pri: uint64(nd), Val: uint64(u)})
+			}
+		}
+	})
+	var sum uint64
+	var far uint32
+	for _, d := range dist {
+		if d != inf {
+			sum += uint64(d)
+			if d > far {
+				far = d
+			}
+		}
+	}
+	fmt.Printf("sssp: mean distance %.1f, max %d\n", float64(sum)/float64(reach), far)
+}

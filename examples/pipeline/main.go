@@ -1,0 +1,48 @@
+// Pipeline & futures: the two "absent from RPB" patterns (paper
+// Sec 7.1) implemented as extensions of the core library. A three-stage
+// text pipeline (generate -> hash -> fold) runs as a wavefront, and
+// futures overlap independent suffix-array builds — the non-strict
+// fork-join shape of Sec 6.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/seqgen"
+	"repro/internal/suffix"
+)
+
+func main() {
+	core.Run(func(w *core.Worker) {
+		// Pipeline: items flow through stages with wavefront parallelism;
+		// each (stage, item) cell has exclusive access to its item.
+		const items = 64
+		const chunk = 4096
+		texts := make([][]byte, items)
+		sums := make([]uint64, items)
+		var folded uint64
+		core.Pipeline(w, items, []func(int){
+			func(i int) { texts[i] = seqgen.Text(nil, chunk, uint64(i)) },
+			func(i int) {
+				var h uint64
+				for _, b := range texts[i] {
+					h = seqgen.Hash64(h ^ uint64(b))
+				}
+				sums[i] = h
+			},
+			func(i int) { folded ^= sums[i] }, // stage 3 is sequential-safe
+		})
+		fmt.Printf("pipeline folded %d chunks into %#x\n", items, folded)
+
+		// Futures: kick off two independent suffix arrays, then combine.
+		left := core.Async(w, func(w *core.Worker) []int32 {
+			return suffix.Array(w, seqgen.Text(w, 50_000, 1))
+		})
+		right := core.Async(w, func(w *core.Worker) []int32 {
+			return suffix.Array(w, seqgen.Text(w, 50_000, 2))
+		})
+		l, r := left.Wait(w), right.Wait(w)
+		fmt.Printf("futures: built suffix arrays of %d and %d suffixes concurrently\n", len(l), len(r))
+	})
+}

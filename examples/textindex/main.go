@@ -1,0 +1,47 @@
+// Text indexing: build a suffix array over generated Zipfian text, find
+// the longest repeated substring, and round-trip a Burrows–Wheeler
+// transform — the paper's text benchmarks (sa, lrs, bw) as an
+// application.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/seqgen"
+	"repro/internal/suffix"
+)
+
+func main() {
+	n := flag.Int("n", 200_000, "text length in bytes")
+	checked := flag.Bool("checked", false, "use run-time-checked SngInd scatters (Comfortable, slower)")
+	flag.Parse()
+
+	core.Run(func(w *core.Worker) {
+		text := seqgen.Text(w, *n, 7)
+		fmt.Printf("text: %d bytes, sample %q...\n", len(text), string(text[:40]))
+
+		sa := suffix.ArrayOpts(w, text, *checked)
+		fmt.Printf("suffix array built (checked=%v); smallest suffix starts at %d\n", *checked, sa[0])
+
+		lcp := suffix.LCP(text, sa)
+		best := core.MaxIndex(w, lcp)
+		l := int(lcp[best])
+		at1, at2 := sa[best], sa[best+1]
+		snippet := string(text[at1 : at1+int32(min(l, 50))])
+		fmt.Printf("longest repeated substring: %d bytes at %d and %d: %q...\n", l, at1, at2, snippet)
+
+		bwt := suffix.BWTEncode(w, text)
+		decoded := suffix.BWTDecodeOpts(w, bwt, *checked)
+		fmt.Printf("bwt round-trip: %v (%d bytes)\n", bytes.Equal(decoded, text), len(bwt))
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,130 @@
+// Wordcount: a downstream-style application composed from the suite's
+// parts — parallel tokenization (Block over byte chunks with boundary
+// stitching), concurrent frequency counting (the AW hash table), and a
+// parallel sort of the results (D&C). Reads a file if given, else
+// generates Zipfian text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hashtable"
+	"repro/internal/seqgen"
+)
+
+// wordID packs a short lowercase word into a uint64 key (up to 8
+// bytes; longer words hash). It keeps the hot path allocation-free.
+func wordID(word []byte) uint64 {
+	if len(word) <= 8 {
+		var k uint64
+		for _, b := range word {
+			k = k<<8 | uint64(b)
+		}
+		return k
+	}
+	h := uint64(len(word))
+	for _, b := range word {
+		h = seqgen.Hash64(h ^ uint64(b))
+	}
+	return h | 1<<63 // mark hashed keys so they cannot collide with packed ones
+}
+
+func isLetter(b byte) bool { return b >= 'a' && b <= 'z' }
+
+func main() {
+	path := flag.String("file", "", "text file to count (default: generated text)")
+	n := flag.Int("n", 2_000_000, "generated text length when no file is given")
+	top := flag.Int("top", 10, "how many top words to print")
+	flag.Parse()
+
+	var text []byte
+	if *path != "" {
+		var err error
+		text, err = os.ReadFile(*path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wordcount:", err)
+			os.Exit(1)
+		}
+	}
+
+	core.Run(func(w *core.Worker) {
+		if text == nil {
+			text = seqgen.Text(w, *n, 123)
+		}
+		counts := hashtable.NewCountMap(1 << 16)
+
+		// Tokenize chunk-parallel: each chunk counts the words that
+		// *start* inside it, extending across the boundary as needed, so
+		// every word is counted exactly once (Block + AW).
+		const chunkSize = 1 << 15
+		core.Chunks(w, text, chunkSize, func(ci int, chunk []byte) {
+			base := ci * chunkSize
+			i := 0
+			// Skip a word that started in the previous chunk.
+			if base > 0 && isLetter(text[base-1]) {
+				for i < len(chunk) && isLetter(chunk[i]) {
+					i++
+				}
+			}
+			for i < len(chunk) {
+				if !isLetter(chunk[i]) {
+					i++
+					continue
+				}
+				start := base + i
+				end := start
+				for end < len(text) && isLetter(text[end]) {
+					end++
+				}
+				counts.InsertAdd(wordID(text[start:end]), 1)
+				i = end - base
+			}
+		})
+
+		// Extract (key, count) pairs from the table slots and sort by
+		// count descending (D&C).
+		type kc struct {
+			key   uint64
+			count int64
+		}
+		idx := core.PackIndex(w, counts.Capacity(), func(i int) bool {
+			_, _, ok := counts.Slot(i)
+			return ok
+		})
+		pairs := make([]kc, len(idx))
+		core.ForRange(w, 0, len(idx), 0, func(i int) {
+			k, c, _ := counts.Slot(int(idx[i]))
+			pairs[i] = kc{key: k, count: c}
+		})
+		core.SortBy(w, pairs, func(a, b kc) bool {
+			if a.count != b.count {
+				return a.count > b.count
+			}
+			return a.key < b.key
+		})
+
+		unpack := func(k uint64) string {
+			if k>>63 == 1 {
+				return fmt.Sprintf("<long:%x>", k)
+			}
+			var buf [8]byte
+			n := 0
+			for k > 0 {
+				buf[7-n] = byte(k)
+				k >>= 8
+				n++
+			}
+			return string(buf[8-n:])
+		}
+		total := core.Reduce(w, pairs, int64(0),
+			func(p kc) int64 { return p.count },
+			func(a, b int64) int64 { return a + b })
+		fmt.Printf("%d words, %d distinct\n", total, len(pairs))
+		for i := 0; i < *top && i < len(pairs); i++ {
+			fmt.Printf("%8d  %s\n", pairs[i].count, unpack(pairs[i].key))
+		}
+	})
+}

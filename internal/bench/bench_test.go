@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAllFourteenRegistered checks the suite matches Table 1's roster.
+func TestAllFourteenRegistered(t *testing.T) {
+	want := []string{"bfs", "bw", "dedup", "dr", "hist", "isort", "lrs",
+		"mis", "mm", "msf", "sa", "sf", "sort", "sssp"}
+	got := All()
+	if len(got) != len(want) {
+		names := make([]string, len(got))
+		for i, s := range got {
+			names[i] = s.Name
+		}
+		t.Fatalf("registered %d benchmarks %v, want %d", len(got), names, len(want))
+	}
+	for i, s := range got {
+		if s.Name != want[i] {
+			t.Fatalf("benchmark %d = %q, want %q", i, s.Name, want[i])
+		}
+		if s.Long == "" || len(s.Inputs) == 0 || s.Make == nil {
+			t.Fatalf("benchmark %q incompletely registered: %+v", s.Name, s)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, err := Find("sort"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Find("nope"); err == nil {
+		t.Fatal("Find should fail for unknown benchmark")
+	}
+}
+
+// TestEveryBenchmarkEveryVariantVerifies is the suite-wide smoke +
+// correctness test: every benchmark, on every input, runs and verifies
+// under (a) the library expression sequentially, (b) the library
+// expression on a small pool, and (c) the direct baseline with 3
+// threads.
+func TestEveryBenchmarkEveryVariantVerifies(t *testing.T) {
+	core.SetMode(core.ModeUnchecked)
+	for _, spec := range All() {
+		for _, input := range spec.Inputs {
+			inst := spec.Make(input, ScaleTest)
+			t.Run(spec.Name+"-"+input+"-seq", func(t *testing.T) {
+				if _, err := Measure(inst, VariantLibrary, 0, 1); err != nil {
+					t.Fatal(err)
+				}
+			})
+			t.Run(spec.Name+"-"+input+"-pool", func(t *testing.T) {
+				if _, err := Measure(inst, VariantLibrary, 3, 1); err != nil {
+					t.Fatal(err)
+				}
+			})
+			t.Run(spec.Name+"-"+input+"-direct", func(t *testing.T) {
+				if _, err := Measure(inst, VariantDirect, 3, 1); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestModesProduceIdenticalResults runs every benchmark under all three
+// expression modes; verification ties them to one oracle.
+func TestModesProduceIdenticalResults(t *testing.T) {
+	defer core.SetMode(core.ModeUnchecked)
+	for _, spec := range All() {
+		input := spec.Inputs[0]
+		inst := spec.Make(input, ScaleTest)
+		for _, mode := range []core.Mode{core.ModeUnchecked, core.ModeChecked, core.ModeSynchronized} {
+			t.Run(spec.Name+"-"+mode.String(), func(t *testing.T) {
+				core.SetMode(mode)
+				if _, err := Measure(inst, VariantLibrary, 2, 1); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestMeasureRejectsUnknownVariant(t *testing.T) {
+	spec, _ := Find("hist")
+	inst := spec.Make("exponential", ScaleTest)
+	if _, err := Measure(inst, Variant("bogus"), 1, 1); err == nil {
+		t.Fatal("expected error for unknown variant")
+	}
+}
+
+func TestMeasureRepsAveraged(t *testing.T) {
+	spec, _ := Find("hist")
+	inst := spec.Make("exponential", ScaleTest)
+	secs, err := Measure(inst, VariantLibrary, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secs <= 0 {
+		t.Fatalf("mean seconds = %v", secs)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); g != 2 {
+		t.Fatalf("GeoMean(1,4) = %v", g)
+	}
+	if g := GeoMean(nil); g != 0 {
+		t.Fatalf("GeoMean(nil) = %v", g)
+	}
+	if g := GeoMean([]float64{3}); g < 2.999 || g > 3.001 {
+		t.Fatalf("GeoMean(3) = %v", g)
+	}
+}
+
+func TestResultKey(t *testing.T) {
+	r := Result{Bench: "mis", Input: "road"}
+	if r.Key() != "mis-road" {
+		t.Fatalf("Key = %q", r.Key())
+	}
+	r.Input = ""
+	if r.Key() != "mis" {
+		t.Fatalf("Key = %q", r.Key())
+	}
+}
+
+func TestScaleSizes(t *testing.T) {
+	if TextSize(ScaleTest) >= TextSize(ScaleSmall) || TextSize(ScaleSmall) >= TextSize(ScaleDefault) {
+		t.Fatal("text sizes not increasing")
+	}
+	if SeqSize(ScaleTest) >= SeqSize(ScaleDefault) {
+		t.Fatal("seq sizes not increasing")
+	}
+	if PointCount(ScaleTest) >= PointCount(ScaleDefault) {
+		t.Fatal("point counts not increasing")
+	}
+}
+
+// TestTable1PatternRows checks the declared site census matches the
+// paper's Table 1 row for every benchmark.
+func TestTable1PatternRows(t *testing.T) {
+	want := map[string][]core.Pattern{
+		"bw":    {core.RO, core.Stride, core.Block, core.DC, core.SngInd, core.AW},
+		"lrs":   {core.RO, core.Stride, core.Block, core.DC, core.SngInd, core.AW},
+		"sa":    {core.RO, core.Stride, core.Block, core.DC, core.SngInd, core.AW},
+		"dr":    {core.RO, core.Stride, core.Block, core.SngInd, core.RngInd, core.AW},
+		"mis":   {core.RO, core.Stride, core.Block, core.DC, core.AW},
+		"mm":    {core.RO, core.Stride, core.Block, core.DC, core.AW},
+		"sf":    {core.RO, core.Stride, core.Block, core.DC, core.AW},
+		"msf":   {core.RO, core.Stride, core.Block, core.DC, core.SngInd, core.AW},
+		"sort":  {core.RO, core.Stride, core.Block, core.DC, core.RngInd},
+		"dedup": {core.RO, core.Stride, core.AW},
+		"hist":  {core.RO, core.Stride, core.Block, core.SngInd},
+		"isort": {core.RO, core.Stride, core.Block, core.SngInd},
+		"bfs":   {core.AW},
+		"sssp":  {core.AW},
+	}
+	c := core.TakeCensus()
+	for name, pats := range want {
+		got := c.PerBench[name]
+		if got == nil {
+			t.Errorf("%s: no sites declared", name)
+			continue
+		}
+		wantSet := map[core.Pattern]bool{}
+		for _, p := range pats {
+			wantSet[p] = true
+		}
+		for _, p := range core.Patterns {
+			if wantSet[p] != got[p] {
+				t.Errorf("%s: pattern %v declared=%v want=%v", name, p, got[p], wantSet[p])
+			}
+		}
+	}
+}
+
+func TestMeasureSurfacesVerificationFailure(t *testing.T) {
+	inst := &Instance{
+		RunLibrary: func(*core.Worker) {},
+		RunDirect:  func(int) {},
+		Verify:     func() error { return fmt.Errorf("planted failure") },
+	}
+	if _, err := Measure(inst, VariantLibrary, 0, 1); err == nil {
+		t.Fatal("verification failure swallowed")
+	} else if !strings.Contains(err.Error(), "planted failure") {
+		t.Fatalf("error lost cause: %v", err)
+	}
+}
+
+func TestMeasureResetCalledPerRep(t *testing.T) {
+	resets := 0
+	inst := &Instance{
+		RunLibrary: func(*core.Worker) {},
+		Reset:      func() { resets++ },
+	}
+	if _, err := Measure(inst, VariantLibrary, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if resets != 3 {
+		t.Fatalf("Reset called %d times, want 3", resets)
+	}
+}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mq"
+)
+
+// bfs — breadth-first search driven by the MultiQueue (paper Sec 6):
+// long-running workers pop (level, vertex) tasks in relaxed priority
+// order, relax neighbors with WriteMin on the distance array (AW), and
+// push improved vertices back. Task dispatch is fully dynamic — the
+// paper's point is that this dynamism adds no fear beyond what the AW
+// accesses already impose.
+
+type bfsInstance struct {
+	g    *graph.Graph
+	src  int32
+	dist []uint32 // atomic access during runs
+	want []uint32
+}
+
+const distInf = ^uint32(0)
+
+func (b *bfsInstance) reset() {
+	for i := range b.dist {
+		b.dist[i] = distInf
+	}
+}
+
+func (b *bfsInstance) run(nWorkers int) {
+	atomic.StoreUint32(&b.dist[b.src], 0)
+	seeds := []mq.Item{{Pri: 0, Val: uint64(b.src)}}
+	mq.Process(nWorkers, seeds, func(_ int, it mq.Item, push mq.Pusher) {
+		v := int32(it.Val)
+		d := uint32(it.Pri)
+		if atomic.LoadUint32(&b.dist[v]) < d {
+			return // stale task
+		}
+		nd := d + 1
+		for _, u := range b.g.Neighbors(v) {
+			if core.WriteMinU32(&b.dist[u], nd) {
+				push.Push(mq.Item{Pri: uint64(nd), Val: uint64(u)})
+			}
+		}
+	})
+}
+
+func (b *bfsInstance) runLibrary(w *core.Worker) {
+	// The MQ manages its own long-running workers; the pool worker count
+	// (or 1 for a nil worker) sets the parallelism.
+	n := 1
+	if w != nil {
+		n = w.Pool().Workers()
+	}
+	b.run(n)
+}
+
+func (b *bfsInstance) runDirect(nThreads int) { b.run(nThreads) }
+
+func (b *bfsInstance) verify() error {
+	for v := range b.dist {
+		if b.dist[v] != b.want[v] {
+			return fmt.Errorf("bfs: dist[%d] = %d, want %d", v, b.dist[v], b.want[v])
+		}
+	}
+	return nil
+}
+
+// bfsOracle computes exact BFS levels sequentially.
+func bfsOracle(g *graph.Graph, src int32) []uint32 {
+	dist := make([]uint32, g.N)
+	for i := range dist {
+		dist[i] = distInf
+	}
+	dist[src] = 0
+	frontier := []int32{src}
+	for len(frontier) > 0 {
+		var next []int32
+		for _, v := range frontier {
+			for _, u := range g.Neighbors(v) {
+				if dist[u] == distInf {
+					dist[u] = dist[v] + 1
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return dist
+}
+
+func init() {
+	core.DeclareSite("bfs", "task: own distance read", core.AW)
+	core.DeclareSite("bfs", "task: neighbor list read", core.AW)
+	core.DeclareSite("bfs", "relax: neighbor distance WriteMin", core.AW)
+
+	Register(Spec{
+		Name:   "bfs",
+		Long:   "breadth-first search",
+		Inputs: []string{graph.InputLink, graph.InputRoad},
+		Make: func(input string, scale Scale) *Instance {
+			g := graph.LoadUndirected(nil, input, scale, 0xbf5)
+			src := int32(0)
+			b := &bfsInstance{
+				g:    g,
+				src:  src,
+				dist: make([]uint32, g.N),
+				want: bfsOracle(g, src),
+			}
+			b.reset()
+			return &Instance{
+				RunLibrary: b.runLibrary,
+				RunDirect:  b.runDirect,
+				Verify:     b.verify,
+				Reset:      b.reset,
+			}
+		},
+	})
+}

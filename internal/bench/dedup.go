@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/hashtable"
+	"repro/internal/seqgen"
+)
+
+// dedup — remove duplicates (PBBS): insert every key into a phase-
+// concurrent hash table (the arbitrary-read-write pattern of Listing 8:
+// conflicting CAS insertions on hash-determined slots), then extract the
+// distinct keys. All modes share the CAS expression — AW has no
+// check-based alternative; this is the paper's "Scared" territory.
+
+type dedupInstance struct {
+	keys     []uint32
+	distinct int // result of the last run
+	want     int
+}
+
+func (d *dedupInstance) runLibrary(w *core.Worker) {
+	table := hashtable.NewSet(len(d.keys))
+	core.ForRange(w, 0, len(d.keys), 0, func(i int) {
+		table.Insert(uint64(d.keys[i]))
+	})
+	// Extract distinct keys with a pack over the table's slots (Block).
+	idx := core.PackIndex(w, table.Capacity(), func(i int) bool {
+		_, ok := table.SlotKey(i)
+		return ok
+	})
+	out := make([]uint64, len(idx))
+	core.ForRange(w, 0, len(idx), 0, func(i int) {
+		k, _ := table.SlotKey(int(idx[i]))
+		out[i] = k
+	})
+	d.distinct = len(out)
+}
+
+func (d *dedupInstance) runDirect(nThreads int) {
+	// Hand-rolled open-addressing CAS table, inlined probe loop.
+	capacity := 16
+	for capacity < 2*len(d.keys) {
+		capacity <<= 1
+	}
+	slots := make([]uint64, capacity)
+	mask := uint64(capacity - 1)
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	chunk := (len(d.keys) + nThreads - 1) / max(nThreads, 1)
+	if chunk < 1 {
+		chunk = 1
+	}
+	for lo := 0; lo < len(d.keys); lo += chunk {
+		hi := lo + chunk
+		if hi > len(d.keys) {
+			hi = len(d.keys)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			local := int64(0)
+			for _, k := range d.keys[lo:hi] {
+				ek := uint64(k) + 1
+				i := seqgen.Hash64(uint64(k)) & mask
+				for {
+					cur := atomic.LoadUint64(&slots[i])
+					if cur == ek {
+						break
+					}
+					if cur == 0 {
+						if atomic.CompareAndSwapUint64(&slots[i], 0, ek) {
+							local++
+							break
+						}
+						if atomic.LoadUint64(&slots[i]) == ek {
+							break
+						}
+						continue
+					}
+					i = (i + 1) & mask
+				}
+			}
+			count.Add(local)
+		}(lo, hi)
+	}
+	wg.Wait()
+	d.distinct = int(count.Load())
+}
+
+func (d *dedupInstance) verify() error {
+	if d.distinct != d.want {
+		return fmt.Errorf("dedup: %d distinct keys, want %d", d.distinct, d.want)
+	}
+	return nil
+}
+
+func init() {
+	core.DeclareSite("dedup", "insert: keys read", core.RO)
+	core.DeclareSite("dedup", "insert: table slot CAS", core.AW)
+	core.DeclareSite("dedup", "extract: slots read", core.RO)
+	core.DeclareSite("dedup", "extract: out write", core.Stride)
+
+	Register(Spec{
+		Name:   "dedup",
+		Long:   "remove duplicates",
+		Inputs: []string{"exponential"},
+		Make: func(input string, scale Scale) *Instance {
+			n := SeqSize(scale)
+			keys := seqgen.ExponentialInts(nil, n, 0xDED)
+			seen := map[uint32]bool{}
+			for _, k := range keys {
+				seen[k] = true
+			}
+			d := &dedupInstance{keys: keys, want: len(seen)}
+			return &Instance{
+				RunLibrary: d.runLibrary,
+				RunDirect:  d.runDirect,
+				Verify:     d.verify,
+			}
+		},
+	})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

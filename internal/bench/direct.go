@@ -1,0 +1,140 @@
+package bench
+
+import "sync"
+
+// Hand-rolled parallel helpers for the Direct (baseline) variants: the
+// simplest conventional expression — spawn nThreads goroutines over
+// statically chunked ranges and wait — corresponding to the paper's
+// Listing 14 (thread per core, even split). No work stealing, no
+// pattern layer, no checks.
+
+// directFor runs body over [0, n) split evenly across nThreads
+// goroutines.
+func directFor(nThreads, n int, body func(lo, hi int)) {
+	if nThreads <= 1 || n <= 1 {
+		body(0, n)
+		return
+	}
+	if nThreads > n {
+		nThreads = n
+	}
+	chunk := (n + nThreads - 1) / nThreads
+	var wg sync.WaitGroup
+	for t := 0; t < nThreads; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// directReduce folds [0, n) with per-thread partials merged on the
+// caller's goroutine.
+func directReduce(nThreads, n int, identity int64, mapf func(i int) int64, comb func(a, b int64) int64) int64 {
+	if nThreads <= 1 || n <= 1 {
+		acc := identity
+		for i := 0; i < n; i++ {
+			acc = comb(acc, mapf(i))
+		}
+		return acc
+	}
+	if nThreads > n {
+		nThreads = n
+	}
+	partial := make([]int64, nThreads)
+	chunk := (n + nThreads - 1) / nThreads
+	var wg sync.WaitGroup
+	for t := 0; t < nThreads; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			partial[t] = identity
+			continue
+		}
+		wg.Add(1)
+		go func(t, lo, hi int) {
+			defer wg.Done()
+			acc := identity
+			for i := lo; i < hi; i++ {
+				acc = comb(acc, mapf(i))
+			}
+			partial[t] = acc
+		}(t, lo, hi)
+	}
+	wg.Wait()
+	acc := identity
+	for _, p := range partial {
+		acc = comb(acc, p)
+	}
+	return acc
+}
+
+// directScanExclusive computes an exclusive prefix sum of xs in place
+// (two statically chunked passes) and returns the total.
+func directScanExclusive(nThreads int, xs []int32) int32 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if nThreads <= 1 {
+		var acc int32
+		for i := range xs {
+			v := xs[i]
+			xs[i] = acc
+			acc += v
+		}
+		return acc
+	}
+	if nThreads > n {
+		nThreads = n
+	}
+	chunk := (n + nThreads - 1) / nThreads
+	sums := make([]int32, nThreads)
+	directFor(nThreads, nThreads, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			s, e := t*chunk, (t+1)*chunk
+			if e > n {
+				e = n
+			}
+			var acc int32
+			for i := s; i < e; i++ {
+				acc += xs[i]
+			}
+			sums[t] = acc
+		}
+	})
+	var total int32
+	for t := 0; t < nThreads; t++ {
+		s := sums[t]
+		sums[t] = total
+		total += s
+	}
+	directFor(nThreads, nThreads, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			s, e := t*chunk, (t+1)*chunk
+			if e > n {
+				e = n
+			}
+			acc := sums[t]
+			for i := s; i < e; i++ {
+				v := xs[i]
+				xs[i] = acc
+				acc += v
+			}
+		}
+	})
+	return total
+}

@@ -1,0 +1,270 @@
+package bench
+
+// Hand-rolled baselines for the text benchmarks (sa, lrs, bw): the same
+// algorithms as the library expressions — prefix-doubling suffix arrays
+// over LSD radix passes, and LF-mapping BWT decode with pointer-jumping
+// list ranking — but written directly against goroutines with static
+// chunking and no pattern layer, standing in for the paper's C++ PBBS.
+
+const dtxBlock = 1 << 14
+
+// directCountingPass stably sorts (keys, vals) by the 8-bit digit at
+// shift, from src into dst arrays.
+func directCountingPass(nThreads int, srcK, dstK []uint64, srcV, dstV []int32, shift uint) {
+	n := len(srcK)
+	nb := (n + dtxBlock - 1) / dtxBlock
+	counts := make([]int32, 256*nb)
+	directFor(nThreads, nb, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*dtxBlock, (b+1)*dtxBlock
+			if hi > n {
+				hi = n
+			}
+			var local [256]int32
+			for i := lo; i < hi; i++ {
+				local[(srcK[i]>>shift)&255]++
+			}
+			for d := 0; d < 256; d++ {
+				counts[d*nb+b] = local[d]
+			}
+		}
+	})
+	directScanExclusive(nThreads, counts)
+	directFor(nThreads, nb, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*dtxBlock, (b+1)*dtxBlock
+			if hi > n {
+				hi = n
+			}
+			var cursor [256]int32
+			for d := 0; d < 256; d++ {
+				cursor[d] = counts[d*nb+b]
+			}
+			for i := lo; i < hi; i++ {
+				d := (srcK[i] >> shift) & 255
+				at := cursor[d]
+				cursor[d]++
+				dstK[at] = srcK[i]
+				dstV[at] = srcV[i]
+			}
+		}
+	})
+}
+
+func directSortPairs(nThreads int, keys []uint64, vals []int32, bits int) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	passes := (bits + 7) / 8
+	if passes == 0 {
+		passes = 1
+	}
+	kBuf := make([]uint64, n)
+	vBuf := make([]int32, n)
+	srcK, dstK, srcV, dstV := keys, kBuf, vals, vBuf
+	for p := 0; p < passes; p++ {
+		directCountingPass(nThreads, srcK, dstK, srcV, dstV, uint(p*8))
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	if passes%2 == 1 {
+		directFor(nThreads, n, func(lo, hi int) {
+			copy(keys[lo:hi], srcK[lo:hi])
+			copy(vals[lo:hi], srcV[lo:hi])
+		})
+	}
+}
+
+func bitsFor(max uint64) int {
+	b := 0
+	for max > 0 {
+		b++
+		max >>= 1
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// directSuffixArray is prefix doubling with hand-rolled radix passes.
+func directSuffixArray(nThreads int, s []byte) []int32 {
+	n := len(s)
+	if n == 0 {
+		return nil
+	}
+	sa := make([]int32, n)
+	rank := make([]int32, n)
+	keys := make([]uint64, n)
+	directFor(nThreads, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sa[i] = int32(i)
+			keys[i] = uint64(s[i])
+		}
+	})
+	directSortPairs(nThreads, keys, sa, 8)
+	rankBits := bitsFor(uint64(n))
+	distinct := directAssignRanks(nThreads, keys, sa, rank)
+	for k := 1; k < n && !distinct; k *= 2 {
+		directFor(nThreads, n, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				i := int(sa[j])
+				hi64 := uint64(rank[i]) + 1
+				var lo64 uint64
+				if i+k < n {
+					lo64 = uint64(rank[i+k]) + 1
+				}
+				keys[j] = hi64<<(rankBits+1) | lo64
+			}
+		})
+		directSortPairs(nThreads, keys, sa, 2*(rankBits+1))
+		distinct = directAssignRanks(nThreads, keys, sa, rank)
+	}
+	return sa
+}
+
+func directAssignRanks(nThreads int, keys []uint64, sa, rank []int32) bool {
+	n := len(keys)
+	flags := make([]int32, n)
+	boundaries := directReduce(nThreads, n-1, 1, func(j int) int64 {
+		if keys[j+1] != keys[j] {
+			return 1
+		}
+		return 0
+	}, func(a, b int64) int64 { return a + b })
+	directFor(nThreads, n, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			if j > 0 && keys[j] != keys[j-1] {
+				flags[j] = int32(j)
+			}
+		}
+	})
+	// Running max via chunked two-pass (max-scan).
+	nb := (n + dtxBlock - 1) / dtxBlock
+	maxes := make([]int32, nb)
+	directFor(nThreads, nb, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*dtxBlock, (b+1)*dtxBlock
+			if hi > n {
+				hi = n
+			}
+			var m int32
+			for i := lo; i < hi; i++ {
+				if flags[i] > m {
+					m = flags[i]
+				}
+			}
+			maxes[b] = m
+		}
+	})
+	var running int32
+	for b := 0; b < nb; b++ {
+		m := maxes[b]
+		maxes[b] = running
+		if m > running {
+			running = m
+		}
+	}
+	directFor(nThreads, nb, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*dtxBlock, (b+1)*dtxBlock
+			if hi > n {
+				hi = n
+			}
+			acc := maxes[b]
+			for j := lo; j < hi; j++ {
+				if flags[j] > acc {
+					acc = flags[j]
+				}
+				rank[sa[j]] = acc
+			}
+		}
+	})
+	return boundaries == int64(n)
+}
+
+// directBWTDecode inverts a BWT with hand-rolled LF mapping and pointer
+// jumping.
+func directBWTDecode(nThreads int, bwt []byte) []byte {
+	n1 := len(bwt)
+	if n1 <= 1 {
+		return nil
+	}
+	// LF mapping: one counting pass.
+	nb := (n1 + dtxBlock - 1) / dtxBlock
+	counts := make([]int32, 256*nb)
+	directFor(nThreads, nb, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*dtxBlock, (b+1)*dtxBlock
+			if hi > n1 {
+				hi = n1
+			}
+			var local [256]int32
+			for i := lo; i < hi; i++ {
+				local[bwt[i]]++
+			}
+			for c := 0; c < 256; c++ {
+				counts[c*nb+b] = local[c]
+			}
+		}
+	})
+	directScanExclusive(nThreads, counts)
+	lf := make([]int32, n1)
+	directFor(nThreads, nb, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*dtxBlock, (b+1)*dtxBlock
+			if hi > n1 {
+				hi = n1
+			}
+			var cursor [256]int32
+			for c := 0; c < 256; c++ {
+				cursor[c] = counts[c*nb+b]
+			}
+			for i := lo; i < hi; i++ {
+				lf[i] = cursor[bwt[i]]
+				cursor[bwt[i]]++
+			}
+		}
+	})
+	// Pointer jumping for walk distances.
+	const nilNode = int32(-1)
+	nxt := make([]int32, n1)
+	dst := make([]int32, n1)
+	directFor(nThreads, n1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if bwt[i] == 0 {
+				nxt[i] = nilNode
+				dst[i] = 0
+			} else {
+				nxt[i] = lf[i]
+				dst[i] = 1
+			}
+		}
+	})
+	nxtB := make([]int32, n1)
+	dstB := make([]int32, n1)
+	for span := 1; span < n1; span *= 2 {
+		directFor(nThreads, n1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if nx := nxt[i]; nx != nilNode {
+					dstB[i] = dst[i] + dst[nx]
+					nxtB[i] = nxt[nx]
+				} else {
+					dstB[i] = dst[i]
+					nxtB[i] = nilNode
+				}
+			}
+		})
+		nxt, nxtB = nxtB, nxt
+		dst, dstB = dstB, dst
+	}
+	n := n1 - 1
+	buf := make([]byte, n1)
+	directFor(nThreads, n1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			buf[dst[i]] = bwt[i]
+		}
+	})
+	return buf[1 : n+1]
+}

@@ -1,0 +1,213 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/seqgen"
+)
+
+// isort — integer sort (PBBS): stable LSD radix sort over exponentially
+// distributed keys. Each pass computes the destination position of every
+// element (Block counting + scan) and then scatters through the position
+// array — the SngInd pattern of Listing 6, whose independence follows
+// from positions being a permutation but is invisible to any checker.
+//
+// Modes: unchecked scatters directly (the unsafe analog); checked
+// scatters via core.IndForEach, paying the uniqueness check; synchronized
+// scatters with atomic stores (Listing 6(e) — races undetected but
+// "placated").
+
+const isortDigitBits = 8
+const isortRadix = 1 << isortDigitBits
+const isortBlock = 1 << 14
+
+type isortInstance struct {
+	orig []uint32
+	keys []uint32
+	bits int
+	want []uint32
+}
+
+func (s *isortInstance) reset() { copy(s.keys, s.orig) }
+
+// isortPositions computes, for one digit pass, the destination position
+// of every element (stable counting order) into pos.
+func isortPositions(w *core.Worker, keys []uint32, pos []int32, shift uint) {
+	n := len(keys)
+	nb := (n + isortBlock - 1) / isortBlock
+	counts := make([]int32, isortRadix*nb)
+	core.ForRange(w, 0, nb, 1, func(b int) {
+		lo, hi := b*isortBlock, (b+1)*isortBlock
+		if hi > n {
+			hi = n
+		}
+		var local [isortRadix]int32
+		for i := lo; i < hi; i++ {
+			local[(keys[i]>>shift)&(isortRadix-1)]++
+		}
+		for d := 0; d < isortRadix; d++ {
+			counts[d*nb+b] = local[d]
+		}
+	})
+	core.ScanExclusive(w, counts)
+	core.ForRange(w, 0, nb, 1, func(b int) {
+		lo, hi := b*isortBlock, (b+1)*isortBlock
+		if hi > n {
+			hi = n
+		}
+		var cursor [isortRadix]int32
+		for d := 0; d < isortRadix; d++ {
+			cursor[d] = counts[d*nb+b]
+		}
+		for i := lo; i < hi; i++ {
+			d := (keys[i] >> shift) & (isortRadix - 1)
+			pos[i] = cursor[d]
+			cursor[d]++
+		}
+	})
+}
+
+func (s *isortInstance) runLibrary(w *core.Worker) {
+	n := len(s.keys)
+	pos := make([]int32, n)
+	buf := make([]uint32, n)
+	src, dst := s.keys, buf
+	passes := (s.bits + isortDigitBits - 1) / isortDigitBits
+	mode := core.GetMode()
+	for p := 0; p < passes; p++ {
+		isortPositions(w, src, pos, uint(p*isortDigitBits))
+		switch mode {
+		case core.ModeChecked:
+			// SngInd through the paper's par_ind_iter_mut analog: the
+			// positions are validated to be a permutation at run time.
+			if err := core.IndForEach(w, dst, pos, func(i int, slot *uint32) { *slot = src[i] }); err != nil {
+				panic(fmt.Sprintf("isort: position check failed: %v", err))
+			}
+		case core.ModeSynchronized:
+			// Atomic stores placate the type system but validate nothing.
+			core.ForRange(w, 0, n, 0, func(i int) {
+				atomic.StoreUint32(&dst[pos[i]], src[i])
+			})
+		default:
+			core.IndForEachUnchecked(w, dst, pos, func(i int, slot *uint32) { *slot = src[i] })
+		}
+		src, dst = dst, src
+	}
+	if passes%2 == 1 {
+		core.CopyInto(w, s.keys, src)
+	}
+}
+
+func (s *isortInstance) runDirect(nThreads int) {
+	n := len(s.keys)
+	pos := make([]int32, n)
+	buf := make([]uint32, n)
+	src, dst := s.keys, buf
+	passes := (s.bits + isortDigitBits - 1) / isortDigitBits
+	nb := (n + isortBlock - 1) / isortBlock
+	for p := 0; p < passes; p++ {
+		shift := uint(p * isortDigitBits)
+		counts := make([]int32, isortRadix*nb)
+		directFor(nThreads, nb, func(blo, bhi int) {
+			for b := blo; b < bhi; b++ {
+				lo, hi := b*isortBlock, (b+1)*isortBlock
+				if hi > n {
+					hi = n
+				}
+				var local [isortRadix]int32
+				for i := lo; i < hi; i++ {
+					local[(src[i]>>shift)&(isortRadix-1)]++
+				}
+				for d := 0; d < isortRadix; d++ {
+					counts[d*nb+b] = local[d]
+				}
+			}
+		})
+		directScanExclusive(nThreads, counts)
+		directFor(nThreads, nb, func(blo, bhi int) {
+			for b := blo; b < bhi; b++ {
+				lo, hi := b*isortBlock, (b+1)*isortBlock
+				if hi > n {
+					hi = n
+				}
+				var cursor [isortRadix]int32
+				for d := 0; d < isortRadix; d++ {
+					cursor[d] = counts[d*nb+b]
+				}
+				for i := lo; i < hi; i++ {
+					d := (src[i] >> shift) & (isortRadix - 1)
+					pos[i] = cursor[d]
+					cursor[d]++
+				}
+			}
+		})
+		directFor(nThreads, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dst[pos[i]] = src[i]
+			}
+		})
+		src, dst = dst, src
+	}
+	if passes%2 == 1 {
+		directFor(nThreads, n, func(lo, hi int) {
+			copy(s.keys[lo:hi], src[lo:hi])
+		})
+	}
+}
+
+func (s *isortInstance) verify() error {
+	for i := range s.keys {
+		if s.keys[i] != s.want[i] {
+			return fmt.Errorf("isort: keys[%d] = %d, want %d", i, s.keys[i], s.want[i])
+		}
+	}
+	return nil
+}
+
+func init() {
+	core.DeclareSite("isort", "count: keys read", core.RO)
+	core.DeclareSite("isort", "count: block count write", core.Block)
+	core.DeclareSite("isort", "count: scan", core.Block)
+	core.DeclareSite("isort", "pos: keys read", core.RO)
+	core.DeclareSite("isort", "pos: position write", core.Stride)
+	core.DeclareSite("isort", "scatter: src read", core.RO)
+	core.DeclareSite("isort", "scatter: pos read", core.RO)
+	core.DeclareSite("isort", "scatter: dst write by position", core.SngInd)
+	core.DeclareSite("isort", "final copy-back write", core.Stride)
+
+	Register(Spec{
+		Name:   "isort",
+		Long:   "integer sort",
+		Inputs: []string{"exponential"},
+		Make: func(input string, scale Scale) *Instance {
+			n := SeqSize(scale)
+			orig := seqgen.ExponentialInts(nil, n, 0x1507)
+			var maxKey uint32
+			for _, k := range orig {
+				if k > maxKey {
+					maxKey = k
+				}
+			}
+			bits := 1
+			for v := maxKey; v > 1; v >>= 1 {
+				bits++
+			}
+			want := append([]uint32(nil), orig...)
+			core.Sort(nil, want)
+			s := &isortInstance{
+				orig: orig,
+				keys: append([]uint32(nil), orig...),
+				bits: bits,
+				want: want,
+			}
+			return &Instance{
+				RunLibrary: s.runLibrary,
+				RunDirect:  s.runDirect,
+				Verify:     s.verify,
+				Reset:      s.reset,
+			}
+		},
+	})
+}

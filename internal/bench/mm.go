@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/seqgen"
+	"repro/internal/specfor"
+)
+
+// mm — maximal matching (PBBS): deterministic reservations over edges.
+// Each round, every live edge writes its priority into both endpoints'
+// reservation slots with WriteMin (AW: conflicting priority writes);
+// edges that win both endpoints join the matching; edges with a matched
+// endpoint die; the rest retry. This is the reserve-and-commit idiom of
+// the paper's Sec 5.2 / Sec 6 discussion.
+//
+// Priorities are a random permutation of edge indices, as in PBBS:
+// structured inputs (the road grid) enumerate edges along rows, and
+// index-ordered priorities would make matching resolve in long
+// sequential chains instead of O(log m) rounds.
+
+type mmInstance struct {
+	edges   []graph.Edge
+	n       int32
+	order   []int32  // random processing order: order[k] = edge index
+	pri     []uint32 // inverse of order: pri[ei] = k (the edge's priority)
+	reserve []uint32 // per-vertex reservation, atomic access
+	matched []int32  // per-vertex matched flag, atomic access
+	inMatch []bool   // per-edge: in the matching (written by winner only)
+}
+
+const mmNoEdge = ^uint32(0)
+
+func (m *mmInstance) reset() {
+	for i := range m.reserve {
+		m.reserve[i] = mmNoEdge
+		m.matched[i] = 0
+	}
+	for i := range m.inMatch {
+		m.inMatch[i] = false
+	}
+}
+
+// runLibrary expresses mm through the specfor substrate (PBBS's
+// speculative_for), in the random order fixed at prep time: Reserve
+// stakes both endpoints with the edge's priority, Commit matches when
+// both reservations held, PostRound resets the retries' slots.
+func (m *mmInstance) runLibrary(w *core.Worker) {
+	specfor.Run(w, len(m.order), 0, specfor.Loop{
+		Reserve: func(k int) bool {
+			e := m.edges[m.order[k]]
+			if atomic.LoadInt32(&m.matched[e.From]) == 1 ||
+				atomic.LoadInt32(&m.matched[e.To]) == 1 {
+				return false // a matched endpoint makes the edge moot
+			}
+			core.WriteMinU32(&m.reserve[e.From], uint32(k))
+			core.WriteMinU32(&m.reserve[e.To], uint32(k))
+			return true
+		},
+		Commit: func(k int) bool {
+			ei := m.order[k]
+			e := m.edges[ei]
+			if atomic.LoadUint32(&m.reserve[e.From]) == uint32(k) &&
+				atomic.LoadUint32(&m.reserve[e.To]) == uint32(k) {
+				atomic.StoreInt32(&m.matched[e.From], 1)
+				atomic.StoreInt32(&m.matched[e.To], 1)
+				m.inMatch[ei] = true
+				return true
+			}
+			return false
+		},
+		PostRound: func(retry []int32) {
+			for _, k := range retry {
+				e := m.edges[m.order[k]]
+				atomic.StoreUint32(&m.reserve[e.From], mmNoEdge)
+				atomic.StoreUint32(&m.reserve[e.To], mmNoEdge)
+			}
+		},
+	})
+}
+
+func (m *mmInstance) runDirect(nThreads int) {
+	live := make([]int32, len(m.edges))
+	for i := range live {
+		live[i] = int32(i)
+	}
+	for len(live) > 0 {
+		directFor(nThreads, len(live), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ei := live[i]
+				e := m.edges[ei]
+				directWriteMin(&m.reserve[e.From], m.pri[ei])
+				directWriteMin(&m.reserve[e.To], m.pri[ei])
+			}
+		})
+		directFor(nThreads, len(live), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ei := live[i]
+				e := m.edges[ei]
+				if atomic.LoadUint32(&m.reserve[e.From]) == m.pri[ei] &&
+					atomic.LoadUint32(&m.reserve[e.To]) == m.pri[ei] {
+					atomic.StoreInt32(&m.matched[e.From], 1)
+					atomic.StoreInt32(&m.matched[e.To], 1)
+					m.inMatch[ei] = true
+				}
+			}
+		})
+		directFor(nThreads, len(live), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				e := m.edges[live[i]]
+				atomic.StoreUint32(&m.reserve[e.From], mmNoEdge)
+				atomic.StoreUint32(&m.reserve[e.To], mmNoEdge)
+			}
+		})
+		next := live[:0]
+		for _, ei := range live {
+			e := m.edges[ei]
+			if atomic.LoadInt32(&m.matched[e.From]) == 0 && atomic.LoadInt32(&m.matched[e.To]) == 0 {
+				next = append(next, ei)
+			}
+		}
+		live = next
+	}
+}
+
+// directWriteMin is the hand-rolled CAS loop of the baseline.
+func directWriteMin(p *uint32, v uint32) {
+	for {
+		old := atomic.LoadUint32(p)
+		if v >= old {
+			return
+		}
+		if atomic.CompareAndSwapUint32(p, old, v) {
+			return
+		}
+	}
+}
+
+func (m *mmInstance) verify() error {
+	deg := make([]int, m.n)
+	for ei, in := range m.inMatch {
+		if !in {
+			continue
+		}
+		e := m.edges[ei]
+		deg[e.From]++
+		deg[e.To]++
+		if deg[e.From] > 1 || deg[e.To] > 1 {
+			return fmt.Errorf("mm: vertex matched twice by edge %d", ei)
+		}
+	}
+	// Maximality: every unmatched edge must have a matched endpoint.
+	for ei, e := range m.edges {
+		if m.inMatch[ei] {
+			continue
+		}
+		if deg[e.From] == 0 && deg[e.To] == 0 {
+			return fmt.Errorf("mm: edge %d (%d-%d) addable — matching not maximal", ei, e.From, e.To)
+		}
+	}
+	return nil
+}
+
+func init() {
+	core.DeclareSite("mm", "reserve: edges read", core.RO)
+	core.DeclareSite("mm", "reserve: endpoint WriteMin", core.AW)
+	core.DeclareSite("mm", "commit: reservation read", core.AW)
+	core.DeclareSite("mm", "commit: matched flag write", core.AW)
+	core.DeclareSite("mm", "commit: own inMatch write", core.Stride)
+	core.DeclareSite("mm", "clear: reservation reset write", core.Stride)
+	core.DeclareSite("mm", "live-edge pack write", core.Block)
+	core.DeclareSite("mm", "round recursion", core.DC)
+
+	Register(Spec{
+		Name:   "mm",
+		Long:   "maximal matching",
+		Inputs: []string{graph.InputRMAT, graph.InputRoad},
+		Make: func(input string, scale Scale) *Instance {
+			edges, n := graph.UndirectedEdgeList(nil, input, scale, 0x88)
+			// Random processing order (Fisher-Yates on a seqgen stream);
+			// pri is its inverse, giving each edge a unique priority.
+			order := make([]int32, len(edges))
+			for i := range order {
+				order[i] = int32(i)
+			}
+			r := seqgen.NewRng(0x8888)
+			for i := len(order) - 1; i > 0; i-- {
+				j := r.Intn(uint64(i), i+1)
+				order[i], order[j] = order[j], order[i]
+			}
+			pri := make([]uint32, len(edges))
+			for k, ei := range order {
+				pri[ei] = uint32(k)
+			}
+			m := &mmInstance{
+				edges:   edges,
+				n:       n,
+				order:   order,
+				pri:     pri,
+				reserve: make([]uint32, n),
+				matched: make([]int32, n),
+				inMatch: make([]bool, len(edges)),
+			}
+			m.reset()
+			return &Instance{
+				RunLibrary: m.runLibrary,
+				RunDirect:  m.runDirect,
+				Verify:     m.verify,
+				Reset:      m.reset,
+			}
+		},
+	})
+}

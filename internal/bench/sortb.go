@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/seqgen"
+)
+
+// sort — comparison sort (PBBS sample sort): sample splitters, classify
+// elements into buckets with a blocked count/scan/scatter (disjoint by
+// construction), then sort each bucket. Bucket boundaries come from the
+// scan as an offsets array, and per-bucket sorting is expressed through
+// the RngInd adapter — exactly the paper's observation that "sort only
+// has RngInd, so is comfortable to express but not fearless". Modes:
+// checked uses core.IndChunks (cheap monotonicity validation), others
+// use the unchecked variant.
+
+const sortBuckets = 256
+const sortOversample = 16
+const sortBlock = 1 << 14
+
+type sortInstance struct {
+	orig []uint32
+	keys []uint32
+	want []uint32
+}
+
+func (s *sortInstance) reset() { copy(s.keys, s.orig) }
+
+// classify returns the bucket of x given sorted splitters.
+func classify(splitters []uint32, x uint32) int {
+	return sort.Search(len(splitters), func(i int) bool { return x < splitters[i] })
+}
+
+func (s *sortInstance) runLibrary(w *core.Worker) {
+	n := len(s.keys)
+	if n <= sortBlock {
+		core.Sort(w, s.keys)
+		return
+	}
+	// Sample and pick splitters (RO).
+	r := seqgen.NewRng(0x5a5a)
+	samples := core.Tabulate(w, sortBuckets*sortOversample, func(i int) uint32 {
+		return s.keys[r.Intn(uint64(i), n)]
+	})
+	core.Sort(w, samples)
+	splitters := make([]uint32, sortBuckets-1)
+	for i := range splitters {
+		splitters[i] = samples[(i+1)*sortOversample]
+	}
+	// Blocked classify + count (Block).
+	nb := (n + sortBlock - 1) / sortBlock
+	counts := make([]int32, sortBuckets*nb)
+	bucketOf := make([]uint8, n)
+	core.ForRange(w, 0, nb, 1, func(b int) {
+		lo, hi := b*sortBlock, (b+1)*sortBlock
+		if hi > n {
+			hi = n
+		}
+		var local [sortBuckets]int32
+		for i := lo; i < hi; i++ {
+			bk := classify(splitters, s.keys[i])
+			bucketOf[i] = uint8(bk)
+			local[bk]++
+		}
+		for d := 0; d < sortBuckets; d++ {
+			counts[d*nb+b] = local[d]
+		}
+	})
+	core.ScanExclusive(w, counts)
+	// Scatter into bucket order (disjoint cursor ranges per block).
+	buf := make([]uint32, n)
+	core.ForRange(w, 0, nb, 1, func(b int) {
+		lo, hi := b*sortBlock, (b+1)*sortBlock
+		if hi > n {
+			hi = n
+		}
+		var cursor [sortBuckets]int32
+		for d := 0; d < sortBuckets; d++ {
+			cursor[d] = counts[d*nb+b]
+		}
+		for i := lo; i < hi; i++ {
+			d := bucketOf[i]
+			buf[cursor[d]] = s.keys[i]
+			cursor[d]++
+		}
+	})
+	// Bucket boundaries: bucket d starts at counts[d*nb] (cursor of its
+	// first block) and ends at the start of bucket d+1.
+	offsets := make([]int32, sortBuckets+1)
+	for d := 0; d < sortBuckets; d++ {
+		offsets[d] = counts[d*nb]
+	}
+	offsets[sortBuckets] = int32(n)
+	// Sort each bucket through the RngInd adapter.
+	sortChunk := func(_ int, chunk []uint32) {
+		sort.Slice(chunk, func(i, j int) bool { return chunk[i] < chunk[j] })
+	}
+	if core.GetMode() == core.ModeChecked {
+		if err := core.IndChunks(w, buf, offsets, sortChunk); err != nil {
+			panic(fmt.Sprintf("sort: boundary check failed: %v", err))
+		}
+	} else {
+		core.IndChunksUnchecked(w, buf, offsets, sortChunk)
+	}
+	core.CopyInto(w, s.keys, buf)
+}
+
+func (s *sortInstance) runDirect(nThreads int) {
+	n := len(s.keys)
+	if n <= sortBlock || nThreads <= 1 {
+		sort.Slice(s.keys, func(i, j int) bool { return s.keys[i] < s.keys[j] })
+		return
+	}
+	r := seqgen.NewRng(0x5a5a)
+	samples := make([]uint32, sortBuckets*sortOversample)
+	for i := range samples {
+		samples[i] = s.keys[r.Intn(uint64(i), n)]
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	splitters := make([]uint32, sortBuckets-1)
+	for i := range splitters {
+		splitters[i] = samples[(i+1)*sortOversample]
+	}
+	nb := (n + sortBlock - 1) / sortBlock
+	counts := make([]int32, sortBuckets*nb)
+	bucketOf := make([]uint8, n)
+	directFor(nThreads, nb, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*sortBlock, (b+1)*sortBlock
+			if hi > n {
+				hi = n
+			}
+			var local [sortBuckets]int32
+			for i := lo; i < hi; i++ {
+				bk := classify(splitters, s.keys[i])
+				bucketOf[i] = uint8(bk)
+				local[bk]++
+			}
+			for d := 0; d < sortBuckets; d++ {
+				counts[d*nb+b] = local[d]
+			}
+		}
+	})
+	directScanExclusive(nThreads, counts)
+	buf := make([]uint32, n)
+	directFor(nThreads, nb, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*sortBlock, (b+1)*sortBlock
+			if hi > n {
+				hi = n
+			}
+			var cursor [sortBuckets]int32
+			for d := 0; d < sortBuckets; d++ {
+				cursor[d] = counts[d*nb+b]
+			}
+			for i := lo; i < hi; i++ {
+				d := bucketOf[i]
+				buf[cursor[d]] = s.keys[i]
+				cursor[d]++
+			}
+		}
+	})
+	directFor(nThreads, sortBuckets, func(dlo, dhi int) {
+		for d := dlo; d < dhi; d++ {
+			start := counts[d*nb]
+			end := int32(n)
+			if d+1 < sortBuckets {
+				end = counts[(d+1)*nb]
+			}
+			chunk := buf[start:end]
+			sort.Slice(chunk, func(i, j int) bool { return chunk[i] < chunk[j] })
+		}
+	})
+	copy(s.keys, buf)
+}
+
+func (s *sortInstance) verify() error {
+	for i := range s.keys {
+		if s.keys[i] != s.want[i] {
+			return fmt.Errorf("sort: keys[%d] = %d, want %d", i, s.keys[i], s.want[i])
+		}
+	}
+	return nil
+}
+
+func init() {
+	core.DeclareSite("sort", "sample: keys read", core.RO)
+	core.DeclareSite("sort", "sample: samples write", core.Stride)
+	core.DeclareSite("sort", "sample: splitter sort", core.DC)
+	core.DeclareSite("sort", "classify: keys read", core.RO)
+	core.DeclareSite("sort", "classify: splitters read", core.RO)
+	core.DeclareSite("sort", "classify: bucketOf write", core.Stride)
+	core.DeclareSite("sort", "classify: block count write", core.Block)
+	core.DeclareSite("sort", "count scan", core.Block)
+	core.DeclareSite("sort", "scatter: buf cursor write", core.Stride)
+	core.DeclareSite("sort", "bucket sort: chunk rewrite", core.RngInd)
+	core.DeclareSite("sort", "final copy-back write", core.Stride)
+
+	Register(Spec{
+		Name:   "sort",
+		Long:   "comparison sort",
+		Inputs: []string{"exponential"},
+		Make: func(input string, scale Scale) *Instance {
+			n := SeqSize(scale)
+			orig := seqgen.ExponentialInts(nil, n, 0x50e7)
+			want := append([]uint32(nil), orig...)
+			core.Sort(nil, want)
+			s := &sortInstance{
+				orig: orig,
+				keys: append([]uint32(nil), orig...),
+				want: want,
+			}
+			return &Instance{
+				RunLibrary: s.runLibrary,
+				RunDirect:  s.runDirect,
+				Verify:     s.verify,
+				Reset:      s.reset,
+			}
+		},
+	})
+}

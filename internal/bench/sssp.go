@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mq"
+)
+
+// sssp — single-source shortest paths: relaxed Dijkstra over the
+// MultiQueue (paper Sec 6 / Postnikova et al.). Workers pop the
+// (probabilistically) closest unsettled vertex, relax its out-edges
+// with WriteMin (AW), and push improvements. Priority inversions from
+// the relaxed queue cost wasted work, never wrong answers: stale tasks
+// are dropped against the distance array.
+
+type ssspInstance struct {
+	g    *graph.WGraph
+	src  int32
+	dist []uint32 // atomic access during runs
+	want []uint32
+}
+
+func (s *ssspInstance) reset() {
+	for i := range s.dist {
+		s.dist[i] = distInf
+	}
+}
+
+func (s *ssspInstance) run(nWorkers int) {
+	atomic.StoreUint32(&s.dist[s.src], 0)
+	seeds := []mq.Item{{Pri: 0, Val: uint64(s.src)}}
+	mq.Process(nWorkers, seeds, func(_ int, it mq.Item, push mq.Pusher) {
+		v := int32(it.Val)
+		d := uint32(it.Pri)
+		if atomic.LoadUint32(&s.dist[v]) < d {
+			return // superseded by a shorter path
+		}
+		adj, wgt := s.g.WNeighbors(v)
+		for i, u := range adj {
+			nd := d + wgt[i]
+			if core.WriteMinU32(&s.dist[u], nd) {
+				push.Push(mq.Item{Pri: uint64(nd), Val: uint64(u)})
+			}
+		}
+	})
+}
+
+func (s *ssspInstance) runLibrary(w *core.Worker) {
+	n := 1
+	if w != nil {
+		n = w.Pool().Workers()
+	}
+	s.run(n)
+}
+
+func (s *ssspInstance) runDirect(nThreads int) { s.run(nThreads) }
+
+func (s *ssspInstance) verify() error {
+	for v := range s.dist {
+		if s.dist[v] != s.want[v] {
+			return fmt.Errorf("sssp: dist[%d] = %d, want %d", v, s.dist[v], s.want[v])
+		}
+	}
+	return nil
+}
+
+// dijkstraOracle computes exact distances with a sequential binary-heap
+// Dijkstra.
+func dijkstraOracle(g *graph.WGraph, src int32) []uint32 {
+	dist := make([]uint32, g.N)
+	for i := range dist {
+		dist[i] = distInf
+	}
+	dist[src] = 0
+	type hi struct {
+		d uint32
+		v int32
+	}
+	heap := []hi{{0, src}}
+	push := func(x hi) {
+		heap = append(heap, x)
+		i := len(heap) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if heap[p].d <= heap[i].d {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() hi {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(heap) && heap[l].d < heap[m].d {
+				m = l
+			}
+			if r < len(heap) && heap[r].d < heap[m].d {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+		return top
+	}
+	for len(heap) > 0 {
+		top := pop()
+		if top.d > dist[top.v] {
+			continue
+		}
+		adj, wgt := g.WNeighbors(top.v)
+		for i, u := range adj {
+			nd := top.d + wgt[i]
+			if nd < dist[u] {
+				dist[u] = nd
+				push(hi{nd, u})
+			}
+		}
+	}
+	return dist
+}
+
+func init() {
+	core.DeclareSite("sssp", "task: own distance read", core.AW)
+	core.DeclareSite("sssp", "task: neighbor/weight read", core.AW)
+	core.DeclareSite("sssp", "relax: neighbor distance WriteMin", core.AW)
+
+	Register(Spec{
+		Name:   "sssp",
+		Long:   "single-source shortest path",
+		Inputs: []string{graph.InputLink, graph.InputRoad},
+		Make: func(input string, scale Scale) *Instance {
+			g := graph.LoadUndirectedWeighted(nil, input, scale, 0x555)
+			src := int32(0)
+			s := &ssspInstance{
+				g:    g,
+				src:  src,
+				dist: make([]uint32, g.N),
+				want: dijkstraOracle(g, src),
+			}
+			s.reset()
+			return &Instance{
+				RunLibrary: s.runLibrary,
+				RunDirect:  s.runDirect,
+				Verify:     s.verify,
+				Reset:      s.reset,
+			}
+		},
+	})
+}

@@ -1,0 +1,112 @@
+// Package core is the parallel-patterns library at the heart of this
+// reproduction: the Go analog of Rust+Rayon as studied in "When Is
+// Parallelism Fearless and Zero-Cost with Rust?" (SPAA 2024).
+//
+// Every exported primitive expresses one of the paper's seven parallel
+// access patterns (Table 3):
+//
+//	RO      read-only operators               — Reduce, Sum, MapReduce    (Fearless)
+//	Stride  array[i] = f()                    — ForEachIdx, ForRange      (Fearless)
+//	Block   array[i*s..(i+1)*s] = f()         — Chunks                    (Fearless)
+//	D&C     divide and conquer                — Join (via Worker), SortBy (Fearless)
+//	SngInd  array[B[i]] = f()                 — IndForEach[Unchecked]     (Comfortable / Scared)
+//	RngInd  array[B[i]..B[i+1]] = f()         — IndChunks[Unchecked]      (Comfortable / Scared)
+//	AW      arbitrary reads and writes        — atomics, ShardedLocks     (Scared)
+//
+// Go has no borrow checker, so the compile-time/run-time split the paper
+// studies is reproduced as API structure: the "Fearless" primitives are
+// safe by construction (each task receives disjoint state), the
+// "Comfortable" primitives perform the paper's proposed dynamic checks
+// (offset uniqueness, boundary monotonicity) and report violations as
+// errors, and the "Scared" primitives — the *Unchecked variants and the
+// raw synchronization helpers — trust the caller exactly like an unsafe
+// block does.
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/sched"
+)
+
+// Worker is the scheduler worker type, re-exported so that callers only
+// import core. All primitives accept a nil Worker, in which case they run
+// sequentially on the calling goroutine; this is both a convenience and
+// the 1-thread baseline used throughout the evaluation.
+type Worker = sched.Worker
+
+// Pool re-exports the scheduler pool type.
+type Pool = sched.Pool
+
+// NewPool starts a work-stealing pool with n workers (GOMAXPROCS if
+// n <= 0). Callers owning a pool must Close it.
+func NewPool(n int) *Pool { return sched.NewPool(n) }
+
+var defaultPool atomic.Pointer[sched.Pool]
+
+// Run executes f on the process-default pool, creating the pool with
+// GOMAXPROCS workers on first use. It returns when f returns.
+func Run(f func(w *Worker)) {
+	p := defaultPool.Load()
+	if p == nil {
+		np := sched.NewPool(0)
+		if defaultPool.CompareAndSwap(nil, np) {
+			p = np
+		} else {
+			np.Close()
+			p = defaultPool.Load()
+		}
+	}
+	p.Do(f)
+}
+
+// Mode is the suite-wide switch for how benchmarks express their
+// irregular (SngInd / AW) accesses — the Go analog of RPB's toggles for
+// unsafe parallel features.
+type Mode int32
+
+const (
+	// ModeUnchecked expresses SngInd/AW with unchecked primitives — the
+	// analog of unsafe Rust. Fast and Scared.
+	ModeUnchecked Mode = iota
+	// ModeChecked expresses SngInd/RngInd with the run-time-validated
+	// primitives (IndForEach, IndChunks) — Comfortable, paying the check.
+	ModeChecked
+	// ModeSynchronized expresses SngInd/AW with synchronization (atomics
+	// or mutexes) — the "placate the type system" option; Scared.
+	ModeSynchronized
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeUnchecked:
+		return "unchecked"
+	case ModeChecked:
+		return "checked"
+	case ModeSynchronized:
+		return "synchronized"
+	}
+	return "invalid"
+}
+
+var currentMode atomic.Int32
+
+// SetMode sets the suite-wide expression mode. Benchmarks read it at the
+// start of a run; changing it mid-run has no effect on that run.
+func SetMode(m Mode) { currentMode.Store(int32(m)) }
+
+// GetMode returns the current suite-wide expression mode.
+func GetMode() Mode { return Mode(currentMode.Load()) }
+
+// Number is the constraint shared by the arithmetic reductions and scans.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64
+}
+
+// IndexInt is the constraint for offset/index arrays used by the
+// indirect-access primitives.
+type IndexInt interface {
+	~int | ~int32 | ~int64 | ~uint32 | ~uint64
+}

@@ -1,0 +1,138 @@
+package core
+
+// This file holds the Fearless regular-access primitives: Stride and
+// Block (Sec 4 of the paper). Each task receives disjoint state by
+// construction, so no synchronization and no run-time validation is
+// needed — the Go analog of Rayon's par_iter_mut / par_chunks_mut
+// zero-cost abstractions.
+
+// ForRange invokes f(i) for every i in [lo, hi), in parallel. It is the
+// index-space workhorse under the Stride pattern: typical bodies write
+// out[i] for distinct arrays out. grain <= 0 selects an automatic grain.
+func ForRange(w *Worker, lo, hi, grain int, f func(i int)) {
+	countDyn(Stride)
+	if w == nil || hi-lo <= 1 {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+		return
+	}
+	w.For(lo, hi, grain, func(_ *Worker, l, h int) {
+		for i := l; i < h; i++ {
+			f(i)
+		}
+	})
+}
+
+// ForEachIdx invokes f(i, &xs[i]) for every element of xs, in parallel —
+// the Stride pattern (paper Listing 4(e), Rayon's par_iter_mut). Each
+// task may mutate only the element passed to it.
+func ForEachIdx[T any](w *Worker, xs []T, grain int, f func(i int, x *T)) {
+	countDyn(Stride)
+	if w == nil || len(xs) <= 1 {
+		for i := range xs {
+			f(i, &xs[i])
+		}
+		return
+	}
+	w.For(0, len(xs), grain, func(_ *Worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i, &xs[i])
+		}
+	})
+}
+
+// Chunks splits xs into contiguous chunks of size elements (the final
+// chunk may be shorter) and invokes f(ci, chunk) for each, in parallel —
+// the Block pattern (paper Listing 5, Rayon's par_chunks_mut). Each task
+// may mutate only its chunk.
+func Chunks[T any](w *Worker, xs []T, size int, f func(ci int, chunk []T)) {
+	if size <= 0 {
+		size = 1
+	}
+	countDyn(Block)
+	n := (len(xs) + size - 1) / size
+	body := func(ci int) {
+		lo := ci * size
+		hi := lo + size
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		f(ci, xs[lo:hi])
+	}
+	if w == nil || n <= 1 {
+		for ci := 0; ci < n; ci++ {
+			body(ci)
+		}
+		return
+	}
+	w.For(0, n, 1, func(_ *Worker, lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			body(ci)
+		}
+	})
+}
+
+// Fill sets every element of xs to v, in parallel (Stride).
+func Fill[T any](w *Worker, xs []T, v T) {
+	ForEachIdx(w, xs, 0, func(_ int, x *T) { *x = v })
+}
+
+// Tabulate builds a slice of length n whose i-th element is f(i),
+// computed in parallel (Stride writes into a fresh slice).
+func Tabulate[T any](w *Worker, n int, f func(i int) T) []T {
+	out := make([]T, n)
+	ForEachIdx(w, out, 0, func(i int, x *T) { *x = f(i) })
+	return out
+}
+
+// CopyInto copies src into dst (which must be at least as long), in
+// parallel (Stride).
+func CopyInto[T any](w *Worker, dst, src []T) {
+	if len(dst) < len(src) {
+		panic("core.CopyInto: dst shorter than src")
+	}
+	ForRange(w, 0, len(src), 0, func(i int) { dst[i] = src[i] })
+}
+
+// Stencil2D computes one step of a two-dimensional stencil: for every
+// cell (x, y) of an height x width grid it writes
+// dst[y*width+x] = f(src, x, y), parallelized over rows. src and dst
+// are distinct buffers, so tasks read freely and write disjoint rows —
+// the "stencil" entry of the paper's Sec 7.1 present-pattern list,
+// classified (like all regular local read-write operators on structured
+// data) as Fearless. f receives the whole src grid; neighbor indexing
+// and boundary policy stay with the caller.
+func Stencil2D[T any](w *Worker, src, dst []T, width int, f func(src []T, x, y int) T) {
+	if width <= 0 {
+		panic("core.Stencil2D: width must be positive")
+	}
+	if len(src) != len(dst) {
+		panic("core.Stencil2D: src and dst lengths differ")
+	}
+	if len(src) == 0 {
+		return
+	}
+	if &src[0] == &dst[0] {
+		panic("core.Stencil2D: src and dst must not alias")
+	}
+	height := len(src) / width
+	countDyn(Block)
+	body := func(y int) {
+		row := dst[y*width : (y+1)*width]
+		for x := range row {
+			row[x] = f(src, x, y)
+		}
+	}
+	if w == nil || height <= 1 {
+		for y := 0; y < height; y++ {
+			body(y)
+		}
+		return
+	}
+	w.For(0, height, 0, func(_ *Worker, lo, hi int) {
+		for y := lo; y < hi; y++ {
+			body(y)
+		}
+	})
+}

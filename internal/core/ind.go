@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// This file reproduces the paper's central library contribution: the two
+// interior-unsafe adapters for irregular local read-write parallelism
+// (Sec 5.1). IndForEach is the analog of par_ind_iter_mut (Listing 6(f)):
+// it validates at run time that the offsets are unique before handing
+// each task a disjoint element, upgrading the programmer from Scared to
+// Comfortable at the price of an O(n) parallel check. IndChunks is the
+// analog of par_ind_chunks_mut (Listing 7(c)): it validates that chunk
+// boundaries increase monotonically, a check so cheap that Comfortable
+// costs almost nothing. The *Unchecked variants are the analog of the
+// unsafe-block expression (Listing 6(d)): no validation, full trust.
+
+// DuplicateOffsetError reports that a checked SngInd traversal found two
+// tasks targeting the same element.
+type DuplicateOffsetError struct {
+	Index  int // position in offsets of the (second) duplicate
+	Offset int // the duplicated target offset
+}
+
+func (e *DuplicateOffsetError) Error() string {
+	return fmt.Sprintf("core.IndForEach: duplicate offset %d (at offsets[%d]); tasks are not independent", e.Offset, e.Index)
+}
+
+// OffsetRangeError reports an offset outside the target slice.
+type OffsetRangeError struct {
+	Index  int
+	Offset int
+	Len    int
+}
+
+func (e *OffsetRangeError) Error() string {
+	return fmt.Sprintf("core.IndForEach: offsets[%d] = %d out of range for target of length %d", e.Index, e.Offset, e.Len)
+}
+
+// NonMonotoneError reports that a checked RngInd traversal found chunk
+// boundaries that are not monotonically non-decreasing or out of range.
+type NonMonotoneError struct {
+	Index int
+	Lo    int
+	Hi    int
+	Len   int
+}
+
+func (e *NonMonotoneError) Error() string {
+	return fmt.Sprintf("core.IndChunks: boundaries offsets[%d..%d] = [%d, %d) invalid for target of length %d; chunks are not disjoint", e.Index, e.Index+1, e.Lo, e.Hi, e.Len)
+}
+
+// IndForEach is the checked SngInd primitive: it invokes
+// f(i, &out[offsets[i]]) for every i, after validating in parallel that
+// all offsets are in range and mutually distinct. On validation failure
+// it returns an error without invoking f. This run-time check is the
+// price of Comfortable irregular parallelism; the paper reports it can
+// cost up to 2.8x on check-dominated benchmarks (Fig 5a).
+func IndForEach[T any, I IndexInt](w *Worker, out []T, offsets []I, f func(i int, slot *T)) error {
+	countDyn(SngInd)
+	if err := checkUniqueOffsets(w, len(out), offsets); err != nil {
+		return err
+	}
+	indForEachBody(w, out, offsets, f)
+	return nil
+}
+
+// IndForEachUnchecked is the unchecked SngInd primitive — the analog of
+// the unsafe-Rust expression. The caller asserts that all offsets are in
+// range and mutually distinct; violations are silent data races (Scared).
+func IndForEachUnchecked[T any, I IndexInt](w *Worker, out []T, offsets []I, f func(i int, slot *T)) {
+	countDyn(SngInd)
+	indForEachBody(w, out, offsets, f)
+}
+
+func indForEachBody[T any, I IndexInt](w *Worker, out []T, offsets []I, f func(i int, slot *T)) {
+	if w == nil {
+		for i := range offsets {
+			f(i, &out[offsets[i]])
+		}
+		return
+	}
+	w.For(0, len(offsets), 0, func(_ *Worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i, &out[offsets[i]])
+		}
+	})
+}
+
+// checkUniqueOffsets validates offsets in parallel using a shared atomic
+// bitmap over the target index space. It returns the first violation
+// found (by atomic claim, so exactly one error survives a racy run).
+func checkUniqueOffsets[I IndexInt](w *Worker, outLen int, offsets []I) error {
+	bitmap := make([]atomic.Uint32, (outLen+31)/32)
+	var errSlot atomic.Pointer[error]
+	setErr := func(e error) { errSlot.CompareAndSwap(nil, &e) }
+	ForRange(w, 0, len(offsets), 0, func(i int) {
+		if errSlot.Load() != nil {
+			return
+		}
+		off := int64(offsets[i])
+		if off < 0 || off >= int64(outLen) {
+			setErr(&OffsetRangeError{Index: i, Offset: int(off), Len: outLen})
+			return
+		}
+		word, bit := off/32, uint32(1)<<(off%32)
+		for {
+			old := bitmap[word].Load()
+			if old&bit != 0 {
+				setErr(&DuplicateOffsetError{Index: i, Offset: int(off)})
+				return
+			}
+			if bitmap[word].CompareAndSwap(old, old|bit) {
+				return
+			}
+		}
+	})
+	if ep := errSlot.Load(); ep != nil {
+		return *ep
+	}
+	return nil
+}
+
+// IndChunks is the checked RngInd primitive: offsets holds k+1 chunk
+// boundaries, and f(i, out[offsets[i]:offsets[i+1]]) is invoked for each
+// of the k chunks after validating in parallel that the boundaries are
+// monotonically non-decreasing and within range. The check is O(k) and
+// cheap relative to the chunk work, making Comfortable nearly free
+// (paper Sec 5.1).
+func IndChunks[T any, I IndexInt](w *Worker, out []T, offsets []I, f func(i int, chunk []T)) error {
+	countDyn(RngInd)
+	if len(offsets) == 0 {
+		return nil
+	}
+	var errSlot atomic.Pointer[error]
+	ForRange(w, 0, len(offsets)-1, 0, func(i int) {
+		lo, hi := int64(offsets[i]), int64(offsets[i+1])
+		if lo > hi || lo < 0 || hi > int64(len(out)) {
+			e := error(&NonMonotoneError{Index: i, Lo: int(lo), Hi: int(hi), Len: len(out)})
+			errSlot.CompareAndSwap(nil, &e)
+		}
+	})
+	if ep := errSlot.Load(); ep != nil {
+		return *ep
+	}
+	indChunksBody(w, out, offsets, f)
+	return nil
+}
+
+// IndChunksUnchecked is the unchecked RngInd primitive: the caller
+// asserts boundary monotonicity (Scared).
+func IndChunksUnchecked[T any, I IndexInt](w *Worker, out []T, offsets []I, f func(i int, chunk []T)) {
+	countDyn(RngInd)
+	if len(offsets) == 0 {
+		return
+	}
+	indChunksBody(w, out, offsets, f)
+}
+
+func indChunksBody[T any, I IndexInt](w *Worker, out []T, offsets []I, f func(i int, chunk []T)) {
+	k := len(offsets) - 1
+	if w == nil {
+		for i := 0; i < k; i++ {
+			f(i, out[offsets[i]:offsets[i+1]])
+		}
+		return
+	}
+	w.For(0, k, 1, func(_ *Worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i, out[offsets[i]:offsets[i+1]])
+		}
+	})
+}
+
+// Scatter writes vals[i] into out[offsets[i]] using the expression
+// selected by the suite-wide Mode: unchecked (Scared, fast), checked
+// (Comfortable, paying the uniqueness check), or synchronized. It is the
+// convenience wrapper benchmarks use for plain SngInd scatters
+// (Listing 6's out[offsets[i]] = input[i]).
+func Scatter[T any, I IndexInt](w *Worker, out []T, offsets []I, vals []T) error {
+	switch GetMode() {
+	case ModeChecked:
+		return IndForEach(w, out, offsets, func(i int, slot *T) { *slot = vals[i] })
+	default:
+		IndForEachUnchecked(w, out, offsets, func(i int, slot *T) { *slot = vals[i] })
+		return nil
+	}
+}

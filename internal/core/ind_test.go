@@ -1,0 +1,260 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func permutation(n int, seed int64) []int32 {
+	rng := rand.New(rand.NewSource(seed))
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	rng.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+func TestIndForEachScattersThroughPermutation(t *testing.T) {
+	const n = 20000
+	offsets := permutation(n, 7)
+	out := make([]int32, n)
+	var err error
+	on(func(w *Worker) {
+		err = IndForEach(w, out, offsets, func(i int, slot *int32) { *slot = int32(i) })
+	})
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	for i, off := range offsets {
+		if out[off] != int32(i) {
+			t.Fatalf("out[%d] = %d, want %d", off, out[off], i)
+		}
+	}
+}
+
+func TestIndForEachDetectsDuplicate(t *testing.T) {
+	const n = 10000
+	offsets := permutation(n, 8)
+	offsets[1234] = offsets[998] // plant the bug the paper warns about
+	out := make([]int32, n)
+	touched := false
+	var err error
+	on(func(w *Worker) {
+		err = IndForEach(w, out, offsets, func(i int, slot *int32) { touched = true })
+	})
+	var dup *DuplicateOffsetError
+	if !errors.As(err, &dup) {
+		t.Fatalf("want DuplicateOffsetError, got %v", err)
+	}
+	if dup.Offset != int(offsets[1234]) {
+		t.Fatalf("error names offset %d, want %d", dup.Offset, offsets[1234])
+	}
+	if touched {
+		t.Fatal("body ran despite failed validation")
+	}
+	if dup.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestIndForEachDetectsOutOfRange(t *testing.T) {
+	out := make([]int, 10)
+	offsets := []int32{0, 1, 12, 3}
+	err := IndForEach(nil, out, offsets, func(int, *int) {})
+	var oor *OffsetRangeError
+	if !errors.As(err, &oor) {
+		t.Fatalf("want OffsetRangeError, got %v", err)
+	}
+	if oor.Offset != 12 || oor.Index != 2 || oor.Len != 10 {
+		t.Fatalf("error fields wrong: %+v", oor)
+	}
+	if oor.Error() == "" {
+		t.Fatal("empty error message")
+	}
+	err = IndForEach(nil, out, []int32{-1}, func(int, *int) {})
+	if !errors.As(err, &oor) {
+		t.Fatalf("negative offset: want OffsetRangeError, got %v", err)
+	}
+}
+
+func TestIndForEachSequentialPath(t *testing.T) {
+	out := make([]int, 5)
+	err := IndForEach(nil, out, []int{4, 3, 2, 1, 0}, func(i int, slot *int) { *slot = i })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 4-i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestIndForEachUncheckedTrustsCaller(t *testing.T) {
+	out := make([]int32, 1000)
+	offsets := permutation(1000, 9)
+	on(func(w *Worker) {
+		IndForEachUnchecked(w, out, offsets, func(i int, slot *int32) { *slot = int32(i) + 1 })
+	})
+	for i, off := range offsets {
+		if out[off] != int32(i)+1 {
+			t.Fatalf("out[%d] = %d", off, out[off])
+		}
+	}
+}
+
+func TestIndForEachPropertyUniquenessDecision(t *testing.T) {
+	// Property: IndForEach errors iff offsets contain a duplicate or an
+	// out-of-range value.
+	f := func(raw []uint16, outLen uint16) bool {
+		n := int(outLen%512) + 1
+		offsets := make([]int32, len(raw))
+		for i, r := range raw {
+			offsets[i] = int32(r % 1024)
+		}
+		seen := map[int32]bool{}
+		shouldFail := false
+		for _, o := range offsets {
+			if int(o) >= n || seen[o] {
+				shouldFail = true
+				break
+			}
+			seen[o] = true
+		}
+		out := make([]int, n)
+		err := IndForEach(nil, out, offsets, func(int, *int) {})
+		return (err != nil) == shouldFail
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndChunksDisjointRanges(t *testing.T) {
+	out := make([]int, 100)
+	offsets := []int32{0, 10, 10, 55, 100}
+	var err error
+	on(func(w *Worker) {
+		err = IndChunks(w, out, offsets, func(i int, chunk []int) {
+			for j := range chunk {
+				chunk[j] = i + 1
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		var want int
+		switch {
+		case i < 10:
+			want = 1
+		case i < 55:
+			want = 3 // chunk 2 is empty
+		default:
+			want = 4
+		}
+		if v != want {
+			t.Fatalf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestIndChunksDetectsNonMonotone(t *testing.T) {
+	out := make([]int, 100)
+	offsets := []int32{0, 30, 20, 100}
+	err := IndChunks(nil, out, offsets, func(int, []int) {
+		t.Fatal("body ran despite invalid boundaries")
+	})
+	var nm *NonMonotoneError
+	if !errors.As(err, &nm) {
+		t.Fatalf("want NonMonotoneError, got %v", err)
+	}
+	if nm.Index != 1 || nm.Lo != 30 || nm.Hi != 20 {
+		t.Fatalf("error fields wrong: %+v", nm)
+	}
+	if nm.Error() == "" {
+		t.Fatal("empty error message")
+	}
+}
+
+func TestIndChunksDetectsOutOfRange(t *testing.T) {
+	out := make([]int, 10)
+	err := IndChunks(nil, out, []int32{0, 5, 11}, func(int, []int) {})
+	var nm *NonMonotoneError
+	if !errors.As(err, &nm) {
+		t.Fatalf("want NonMonotoneError, got %v", err)
+	}
+}
+
+func TestIndChunksEmptyOffsets(t *testing.T) {
+	if err := IndChunks(nil, []int{1}, []int32{}, func(int, []int) {}); err != nil {
+		t.Fatal(err)
+	}
+	IndChunksUnchecked(nil, []int{1}, []int32{}, func(int, []int) {})
+}
+
+func TestIndChunksUnchecked(t *testing.T) {
+	out := make([]int, 20)
+	offsets := []int{0, 7, 20}
+	on(func(w *Worker) {
+		IndChunksUnchecked(w, out, offsets, func(i int, chunk []int) {
+			for j := range chunk {
+				chunk[j] = i
+			}
+		})
+	})
+	if out[0] != 0 || out[6] != 0 || out[7] != 1 || out[19] != 1 {
+		t.Fatalf("unexpected contents: %v", out)
+	}
+}
+
+func TestIndChunksPropertyMonotoneDecision(t *testing.T) {
+	f := func(raw []uint8, outLen uint8) bool {
+		n := int(outLen) + 1
+		offsets := make([]int32, len(raw)+1)
+		for i, r := range raw {
+			offsets[i+1] = int32(r % 64)
+		}
+		valid := true
+		for i := 0; i+1 < len(offsets); i++ {
+			if offsets[i] > offsets[i+1] || int(offsets[i+1]) > n {
+				valid = false
+				break
+			}
+		}
+		out := make([]int, n)
+		err := IndChunks(nil, out, offsets, func(int, []int) {})
+		return (err == nil) == valid
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterRespectsMode(t *testing.T) {
+	defer SetMode(ModeUnchecked)
+	vals := []int{10, 20, 30}
+	offsets := []int32{2, 0, 1}
+
+	SetMode(ModeChecked)
+	out := make([]int, 3)
+	if err := Scatter(nil, out, offsets, vals); err != nil {
+		t.Fatal(err)
+	}
+	if out[2] != 10 || out[0] != 20 || out[1] != 30 {
+		t.Fatalf("scatter wrong: %v", out)
+	}
+	// Checked mode catches duplicates...
+	if err := Scatter(nil, out, []int32{1, 1, 0}, vals); err == nil {
+		t.Fatal("checked Scatter missed duplicate")
+	}
+	// ...unchecked mode does not (Scared).
+	SetMode(ModeUnchecked)
+	if err := Scatter(nil, out, []int32{1, 1, 0}, vals); err != nil {
+		t.Fatal("unchecked Scatter should not validate")
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+// This file holds the read-only (RO) primitives (paper Sec 4.1,
+// Listing 3): tasks summarize shared collections without mutating them,
+// so AXM holds trivially and the pattern is Fearless. Reductions use a
+// deterministic binary combining tree mirroring the scheduler's range
+// split, so results are identical across thread counts for associative
+// combiners (and for float sums, reproducible run to run).
+
+// Reduce folds xs with an associative combiner: it maps each element
+// through mapf and combines results pairwise, starting from identity.
+func Reduce[T, R any](w *Worker, xs []T, identity R, mapf func(T) R, comb func(R, R) R) R {
+	countDyn(RO)
+	grain := 1024
+	var rec func(w *Worker, lo, hi int) R
+	rec = func(w *Worker, lo, hi int) R {
+		if w == nil || hi-lo <= grain {
+			acc := identity
+			for i := lo; i < hi; i++ {
+				acc = comb(acc, mapf(xs[i]))
+			}
+			return acc
+		}
+		mid := lo + (hi-lo)/2
+		var a, b R
+		w.Join(
+			func(w *Worker) { a = rec(w, lo, mid) },
+			func(w *Worker) { b = rec(w, mid, hi) },
+		)
+		return comb(a, b)
+	}
+	return rec(w, 0, len(xs))
+}
+
+// MapReduce folds the index space [0, n) with an associative combiner:
+// it computes mapf(i) for each index and combines pairwise. It is Reduce
+// for computations not shaped as a slice walk.
+func MapReduce[R any](w *Worker, n int, identity R, mapf func(i int) R, comb func(R, R) R) R {
+	countDyn(RO)
+	grain := 1024
+	var rec func(w *Worker, lo, hi int) R
+	rec = func(w *Worker, lo, hi int) R {
+		if w == nil || hi-lo <= grain {
+			acc := identity
+			for i := lo; i < hi; i++ {
+				acc = comb(acc, mapf(i))
+			}
+			return acc
+		}
+		mid := lo + (hi-lo)/2
+		var a, b R
+		w.Join(
+			func(w *Worker) { a = rec(w, lo, mid) },
+			func(w *Worker) { b = rec(w, mid, hi) },
+		)
+		return comb(a, b)
+	}
+	return rec(w, 0, n)
+}
+
+// Sum returns the sum of xs (paper Listing 3(c)).
+func Sum[T Number](w *Worker, xs []T) T {
+	var zero T
+	return Reduce(w, xs, zero, func(x T) T { return x }, func(a, b T) T { return a + b })
+}
+
+// Max returns the maximum element of xs; it panics on an empty slice.
+func Max[T Number](w *Worker, xs []T) T {
+	if len(xs) == 0 {
+		panic("core.Max: empty slice")
+	}
+	return Reduce(w, xs, xs[0], func(x T) T { return x }, func(a, b T) T {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// Min returns the minimum element of xs; it panics on an empty slice.
+func Min[T Number](w *Worker, xs []T) T {
+	if len(xs) == 0 {
+		panic("core.Min: empty slice")
+	}
+	return Reduce(w, xs, xs[0], func(x T) T { return x }, func(a, b T) T {
+		if a < b {
+			return a
+		}
+		return b
+	})
+}
+
+// MaxIndex returns the index of the maximum element of xs, taking the
+// smallest index among ties; it panics on an empty slice.
+func MaxIndex[T Number](w *Worker, xs []T) int {
+	if len(xs) == 0 {
+		panic("core.MaxIndex: empty slice")
+	}
+	best := MapReduce(w, len(xs), 0, func(i int) int { return i }, func(a, b int) int {
+		if xs[b] > xs[a] || (xs[b] == xs[a] && b < a) {
+			return b
+		}
+		return a
+	})
+	return best
+}
+
+// Count returns the number of elements satisfying pred (RO).
+func Count[T any](w *Worker, xs []T, pred func(T) bool) int {
+	return Reduce(w, xs, 0, func(x T) int {
+		if pred(x) {
+			return 1
+		}
+		return 0
+	}, func(a, b int) int { return a + b })
+}
+
+// All reports whether pred holds for every element (RO).
+func All[T any](w *Worker, xs []T, pred func(T) bool) bool {
+	return Reduce(w, xs, true, pred, func(a, b bool) bool { return a && b })
+}
+
+// SegReduce performs a segmented reduction — the "segmentation" pattern
+// of the paper's Sec 7.1 inventory: offsets holds k+1 segment
+// boundaries into xs, and the result's i-th element is the map/combine
+// fold of segment xs[offsets[i]:offsets[i+1]]. Segments are reduced in
+// parallel with each other (each output slot written by exactly one
+// task — Stride on the output, RO on the input), sequentially within.
+// Boundaries are validated as in IndChunks; invalid boundaries return
+// a NonMonotoneError.
+func SegReduce[T, R any, I IndexInt](w *Worker, xs []T, offsets []I, identity R, mapf func(T) R, comb func(R, R) R) ([]R, error) {
+	if len(offsets) == 0 {
+		return nil, nil
+	}
+	out := make([]R, len(offsets)-1)
+	err := IndChunks(w, xs, offsets, func(i int, seg []T) {
+		acc := identity
+		for j := range seg {
+			acc = comb(acc, mapf(seg[j]))
+		}
+		out[i] = acc
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

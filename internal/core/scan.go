@@ -1,0 +1,150 @@
+package core
+
+// Scans and packs (paper's "scan" and "pack" algorithmic patterns) are
+// implemented as two-pass blocked algorithms: a Block-pattern pass
+// computing per-chunk summaries, a short sequential scan over the chunk
+// summaries, and a second Block-pattern pass writing results. Both
+// passes touch disjoint chunks, so the whole construction is Fearless.
+
+// scanBlockSize is the per-chunk grain for two-pass scans.
+const scanBlockSize = 2048
+
+// ScanExclusiveOp replaces xs[i] with op(identity, xs[0], ..., xs[i-1])
+// in place and returns the total op-fold of the original slice. op must
+// be associative with identity as its unit.
+func ScanExclusiveOp[T any](w *Worker, xs []T, identity T, op func(a, b T) T) T {
+	n := len(xs)
+	if n == 0 {
+		return identity
+	}
+	nblocks := (n + scanBlockSize - 1) / scanBlockSize
+	sums := make([]T, nblocks)
+	Chunks(w, xs, scanBlockSize, func(ci int, chunk []T) {
+		acc := identity
+		for i := range chunk {
+			acc = op(acc, chunk[i])
+		}
+		sums[ci] = acc
+	})
+	total := identity
+	for ci := 0; ci < nblocks; ci++ {
+		s := sums[ci]
+		sums[ci] = total
+		total = op(total, s)
+	}
+	Chunks(w, xs, scanBlockSize, func(ci int, chunk []T) {
+		acc := sums[ci]
+		for i := range chunk {
+			v := chunk[i]
+			chunk[i] = acc
+			acc = op(acc, v)
+		}
+	})
+	return total
+}
+
+// ScanExclusive replaces xs[i] with the sum of xs[0..i) in place and
+// returns the total sum of the original slice.
+func ScanExclusive[T Number](w *Worker, xs []T) T {
+	var zero T
+	return ScanExclusiveOp(w, xs, zero, func(a, b T) T { return a + b })
+}
+
+// ScanInclusive replaces xs[i] with the sum of xs[0..i] in place and
+// returns the total sum.
+func ScanInclusive[T Number](w *Worker, xs []T) T {
+	n := len(xs)
+	if n == 0 {
+		var zero T
+		return zero
+	}
+	nblocks := (n + scanBlockSize - 1) / scanBlockSize
+	sums := make([]T, nblocks)
+	Chunks(w, xs, scanBlockSize, func(ci int, chunk []T) {
+		var acc T
+		for i := range chunk {
+			acc += chunk[i]
+		}
+		sums[ci] = acc
+	})
+	var total T
+	for ci := 0; ci < nblocks; ci++ {
+		s := sums[ci]
+		sums[ci] = total
+		total += s
+	}
+	Chunks(w, xs, scanBlockSize, func(ci int, chunk []T) {
+		acc := sums[ci]
+		for i := range chunk {
+			acc += chunk[i]
+			chunk[i] = acc
+		}
+	})
+	return total
+}
+
+// PackIndex returns, in order, every index i in [0, n) for which keep(i)
+// is true. It is the index-space form of the paper's "pack" pattern.
+func PackIndex(w *Worker, n int, keep func(i int) bool) []int32 {
+	nblocks := (n + scanBlockSize - 1) / scanBlockSize
+	if nblocks == 0 {
+		return nil
+	}
+	counts := make([]int32, nblocks)
+	ForRange(w, 0, nblocks, 1, func(ci int) {
+		lo, hi := ci*scanBlockSize, (ci+1)*scanBlockSize
+		if hi > n {
+			hi = n
+		}
+		var c int32
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				c++
+			}
+		}
+		counts[ci] = c
+	})
+	total := ScanExclusive(w, counts)
+	out := make([]int32, total)
+	ForRange(w, 0, nblocks, 1, func(ci int) {
+		lo, hi := ci*scanBlockSize, (ci+1)*scanBlockSize
+		if hi > n {
+			hi = n
+		}
+		at := counts[ci]
+		for i := lo; i < hi; i++ {
+			if keep(i) {
+				out[at] = int32(i)
+				at++
+			}
+		}
+	})
+	return out
+}
+
+// Filter returns, in order, the elements of xs satisfying keep.
+func Filter[T any](w *Worker, xs []T, keep func(x T) bool) []T {
+	idx := PackIndex(w, len(xs), func(i int) bool { return keep(xs[i]) })
+	out := make([]T, len(idx))
+	ForRange(w, 0, len(idx), 0, func(i int) { out[i] = xs[idx[i]] })
+	return out
+}
+
+// Flatten concatenates nested into one slice, in parallel: a Stride
+// pass collects lengths, a scan turns them into offsets, and each task
+// copies its sub-slice into its own output range — RngInd with
+// monotonicity guaranteed by the scan itself, so the unchecked
+// traversal is safe by construction (the situation where PBBS's
+// flatten needs no run-time check).
+func Flatten[T any](w *Worker, nested [][]T) []T {
+	offsets := make([]int32, len(nested)+1)
+	ForRange(w, 0, len(nested), 0, func(i int) {
+		offsets[i+1] = int32(len(nested[i]))
+	})
+	ScanInclusive(w, offsets[1:])
+	out := make([]T, offsets[len(nested)])
+	IndChunksUnchecked(w, out, offsets, func(i int, chunk []T) {
+		copy(chunk, nested[i])
+	})
+	return out
+}

@@ -1,0 +1,69 @@
+// Package geom is the computational-geometry substrate under the dr
+// (Delaunay refinement) benchmark: planar predicates, a triangle mesh
+// with adjacency, incremental Delaunay triangulation (Bowyer–Watson
+// with walking point location), and triangle quality measures.
+//
+// Predicates use double-precision determinants with a small relative
+// epsilon — adequate for the synthetic (hash-generated, non-adversarial)
+// Kuzmin inputs this reproduction evaluates on, where exact-arithmetic
+// degeneracies do not arise.
+package geom
+
+import (
+	"math"
+
+	"repro/internal/seqgen"
+)
+
+// Point re-exports the generator's planar point type.
+type Point = seqgen.Point
+
+// Orient2D returns a positive value when c lies to the left of the
+// directed line a->b, negative to the right, and (near) zero when the
+// points are (near) collinear.
+func Orient2D(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// InCircle returns a positive value when d lies strictly inside the
+// circumcircle of the counterclockwise triangle (a, b, c).
+func InCircle(a, b, c, d Point) float64 {
+	adx, ady := a.X-d.X, a.Y-d.Y
+	bdx, bdy := b.X-d.X, b.Y-d.Y
+	cdx, cdy := c.X-d.X, c.Y-d.Y
+	ad := adx*adx + ady*ady
+	bd := bdx*bdx + bdy*bdy
+	cd := cdx*cdx + cdy*cdy
+	return adx*(bdy*cd-bd*cdy) - ady*(bdx*cd-bd*cdx) + ad*(bdx*cdy-bdy*cdx)
+}
+
+// Circumcenter returns the circumcenter of triangle (a, b, c). The
+// triangle must not be degenerate.
+func Circumcenter(a, b, c Point) Point {
+	dx1, dy1 := b.X-a.X, b.Y-a.Y
+	dx2, dy2 := c.X-a.X, c.Y-a.Y
+	d := 2 * (dx1*dy2 - dy1*dx2)
+	l1 := dx1*dx1 + dy1*dy1
+	l2 := dx2*dx2 + dy2*dy2
+	ux := (dy2*l1 - dy1*l2) / d
+	uy := (dx1*l2 - dx2*l1) / d
+	return Point{X: a.X + ux, Y: a.Y + uy}
+}
+
+// dist returns the Euclidean distance between two points.
+func dist(a, b Point) float64 {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// RadiusEdgeRatio returns circumradius / shortest edge — Ruppert's
+// quality measure. Values above sqrt(2) mark a triangle "skinny".
+func RadiusEdgeRatio(a, b, c Point) float64 {
+	cc := Circumcenter(a, b, c)
+	r := dist(cc, a)
+	e := math.Min(dist(a, b), math.Min(dist(b, c), dist(c, a)))
+	if e == 0 {
+		return math.Inf(1)
+	}
+	return r / e
+}

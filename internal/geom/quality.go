@@ -1,0 +1,111 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Mesh quality statistics: the measurable outcome of refinement. The
+// radius-edge bound B corresponds to a minimum-angle guarantee of
+// arcsin(1/(2B)) (Ruppert), so a refined mesh's angle histogram is the
+// ground truth behind the dr benchmark's post-conditions.
+
+// QualityStats summarizes the live, non-super triangles of a mesh.
+type QualityStats struct {
+	Triangles     int
+	MinAngleDeg   float64 // smallest angle anywhere in the mesh
+	MeanMinAngle  float64 // mean of per-triangle minimum angles
+	WorstRatio    float64 // largest radius-edge ratio
+	AngleHisto    [6]int  // per-triangle min angle: <10°, <20°, <30°, <40°, <50°, >=50°
+	SkinnyAtBound int     // triangles above the given ratio bound
+}
+
+// minAngleDeg returns the smallest interior angle of triangle (a,b,c)
+// in degrees.
+func minAngleDeg(a, b, c Point) float64 {
+	la := dist(b, c) // side opposite a
+	lb := dist(a, c)
+	lc := dist(a, b)
+	angle := func(opp, s1, s2 float64) float64 {
+		if s1 == 0 || s2 == 0 {
+			return 0
+		}
+		cos := (s1*s1 + s2*s2 - opp*opp) / (2 * s1 * s2)
+		if cos > 1 {
+			cos = 1
+		}
+		if cos < -1 {
+			cos = -1
+		}
+		return math.Acos(cos) * 180 / math.Pi
+	}
+	aa := angle(la, lb, lc)
+	ab := angle(lb, la, lc)
+	ac := angle(lc, la, lb)
+	return math.Min(aa, math.Min(ab, ac))
+}
+
+// Quality computes mesh quality statistics in parallel (an RO pass).
+func (m *Mesh) Quality(w *core.Worker, bound float64) QualityStats {
+	live := m.LiveTriangles(false)
+	type acc struct {
+		n      int
+		minA   float64
+		sumMin float64
+		worstR float64
+		histo  [6]int
+		skinny int
+	}
+	id := acc{minA: 180}
+	combine := func(x, y acc) acc {
+		x.n += y.n
+		x.sumMin += y.sumMin
+		if y.minA < x.minA {
+			x.minA = y.minA
+		}
+		if y.worstR > x.worstR {
+			x.worstR = y.worstR
+		}
+		for i := range x.histo {
+			x.histo[i] += y.histo[i]
+		}
+		x.skinny += y.skinny
+		return x
+	}
+	total := core.MapReduce(w, len(live), id, func(i int) acc {
+		a, b, c := m.TriPoints(live[i])
+		ang := minAngleDeg(a, b, c)
+		r := RadiusEdgeRatio(a, b, c)
+		out := acc{n: 1, minA: ang, sumMin: ang, worstR: r}
+		bucket := int(ang / 10)
+		if bucket > 5 {
+			bucket = 5
+		}
+		if bucket < 0 {
+			bucket = 0
+		}
+		out.histo[bucket] = 1
+		if r > bound {
+			out.skinny = 1
+		}
+		return out
+	}, combine)
+	qs := QualityStats{
+		Triangles:     total.n,
+		WorstRatio:    total.worstR,
+		AngleHisto:    total.histo,
+		SkinnyAtBound: total.skinny,
+	}
+	if total.n > 0 {
+		qs.MinAngleDeg = total.minA
+		qs.MeanMinAngle = total.sumMin / float64(total.n)
+	}
+	return qs
+}
+
+func (q QualityStats) String() string {
+	return fmt.Sprintf("triangles=%d minAngle=%.1f° meanMinAngle=%.1f° worstRatio=%.2f skinny=%d histo(<10°..≥50°)=%v",
+		q.Triangles, q.MinAngleDeg, q.MeanMinAngle, q.WorstRatio, q.SkinnyAtBound, q.AngleHisto)
+}

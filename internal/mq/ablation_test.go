@@ -1,0 +1,149 @@
+package mq
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// Ablation: the MultiQueue's central design knob is the number of
+// internal queues (c * P in the literature). Fewer queues mean tighter
+// priority order but more lock contention; more queues scale better but
+// relax ordering. These tests and benchmarks quantify both sides, the
+// trade-off Sec 6 of the paper leans on.
+
+// rankError drains a pre-filled MQ and returns the mean rank error:
+// how far from the ideal priority order each pop was.
+func rankError(nQueues, n int) float64 {
+	m := New(nQueues)
+	for i := 0; i < n; i++ {
+		m.Push(Item{Pri: uint64(i), Val: uint64(i)})
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		it, ok := m.Pop()
+		if !ok {
+			panic("drained early")
+		}
+		d := float64(it.Pri) - float64(i)
+		if d < 0 {
+			d = -d
+		}
+		total += d
+	}
+	return total / float64(n)
+}
+
+func TestAblationRankErrorGrowsWithQueues(t *testing.T) {
+	const n = 20000
+	tight := rankError(2, n)
+	loose := rankError(64, n)
+	if tight >= loose {
+		t.Fatalf("rank error should grow with queue count: 2q=%.1f 64q=%.1f", tight, loose)
+	}
+	// Even the loose configuration must stay within the probabilistic
+	// O(P) expectation band, far below random order (~n/3).
+	if loose > float64(n)/10 {
+		t.Fatalf("64-queue rank error %.1f looks unbounded", loose)
+	}
+}
+
+func BenchmarkAblationQueueCount(b *testing.B) {
+	for _, q := range []int{2, 4, 16, 64} {
+		b.Run(fmt.Sprintf("queues-%d", q), func(b *testing.B) {
+			m := New(q)
+			b.RunParallel(func(pb *testing.PB) {
+				i := uint64(0)
+				for pb.Next() {
+					m.Push(Item{Pri: i, Val: i})
+					m.Pop()
+					i++
+				}
+			})
+		})
+	}
+}
+
+func TestStickyPopperDrainsEverything(t *testing.T) {
+	m := New(8)
+	const n = 20000
+	for i := uint64(0); i < n; i++ {
+		m.Push(Item{Pri: i, Val: i})
+	}
+	p := m.NewPopper(8)
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		it, ok := p.Pop()
+		if !ok {
+			t.Fatalf("pop %d failed with items remaining", i)
+		}
+		if seen[it.Val] {
+			t.Fatalf("item %d popped twice", it.Val)
+		}
+		seen[it.Val] = true
+	}
+	if _, ok := p.Pop(); ok {
+		t.Fatal("pop on drained queue succeeded")
+	}
+}
+
+func TestStickyPushPopRoundTrip(t *testing.T) {
+	m := New(4)
+	p := m.NewPopper(4)
+	for i := uint64(0); i < 100; i++ {
+		p.Push(Item{Pri: i, Val: i})
+	}
+	if m.Len() != 100 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	count := 0
+	for {
+		if _, ok := p.Pop(); !ok {
+			break
+		}
+		count++
+	}
+	if count != 100 {
+		t.Fatalf("popped %d", count)
+	}
+}
+
+func TestNewPopperClampsStickiness(t *testing.T) {
+	m := New(4)
+	p := m.NewPopper(0)
+	if p.stick != 1 {
+		t.Fatalf("stickiness = %d, want clamped to 1", p.stick)
+	}
+}
+
+func TestProcessOptStickyCompletesDynamicWork(t *testing.T) {
+	var count atomic.Int64
+	ProcessOpt(4, []Item{{Pri: 0, Val: 12}}, Options{Stickiness: 8, QueueFactor: 2},
+		func(_ int, it Item, push Pusher) {
+			count.Add(1)
+			if it.Val > 0 {
+				push.Push(Item{Pri: it.Pri + 1, Val: it.Val - 1})
+				push.Push(Item{Pri: it.Pri + 1, Val: it.Val - 1})
+			}
+		})
+	if count.Load() != 8191 { // full binary tree of depth 12
+		t.Fatalf("executed %d tasks, want 8191", count.Load())
+	}
+}
+
+func BenchmarkAblationStickiness(b *testing.B) {
+	for _, stick := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("stick-%d", stick), func(b *testing.B) {
+			m := New(8)
+			b.RunParallel(func(pb *testing.PB) {
+				p := m.NewPopper(stick)
+				i := uint64(0)
+				for pb.Next() {
+					p.Push(Item{Pri: i, Val: i})
+					p.Pop()
+					i++
+				}
+			})
+		})
+	}
+}

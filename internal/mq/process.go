@@ -1,0 +1,77 @@
+package mq
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pusher hands tasks back to the scheduler from inside a running task.
+type Pusher interface {
+	Push(it Item)
+}
+
+// workerCtx routes a worker's pushes through its sticky handle while
+// keeping the in-flight accounting exact.
+type workerCtx struct {
+	p        *Popper
+	inFlight *atomic.Int64
+}
+
+func (c *workerCtx) Push(it Item) {
+	c.inFlight.Add(1)
+	c.p.Push(it)
+}
+
+// Process drives the MultiQueue with nWorkers long-running worker
+// goroutines, the execution model of the paper's bfs and sssp: each
+// worker repeatedly pops a task and executes it (potentially pushing
+// new tasks) until the queue is globally empty.
+//
+// Termination uses an in-flight counter: it counts tasks that have been
+// pushed but whose execution has not finished. Workers that observe an
+// empty queue spin (yielding) until either work appears or the counter
+// reaches zero, at which point no task exists and none can be created —
+// the loop exits everywhere.
+func Process(nWorkers int, seeds []Item, task func(workerID int, it Item, push Pusher)) {
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	ProcessOpt(nWorkers, seeds, Options{}, task)
+}
+
+// processWith runs the worker loops over an existing queue.
+func processWith(m *MultiQueue, nWorkers int, seeds []Item, stickiness int, task func(workerID int, it Item, push Pusher)) {
+	var inFlight atomic.Int64
+	for _, s := range seeds {
+		inFlight.Add(1)
+		m.Push(s)
+	}
+	var wg sync.WaitGroup
+	wg.Add(nWorkers)
+	for wid := 0; wid < nWorkers; wid++ {
+		go func(wid int) {
+			defer wg.Done()
+			pop := m.NewPopper(stickiness)
+			ctx := &workerCtx{p: pop, inFlight: &inFlight}
+			idle := 0
+			for {
+				it, ok := pop.Pop()
+				if !ok {
+					if inFlight.Load() == 0 {
+						return
+					}
+					idle++
+					if idle > 16 {
+						runtime.Gosched()
+					}
+					continue
+				}
+				idle = 0
+				task(wid, it, ctx)
+				inFlight.Add(-1)
+			}
+		}(wid)
+	}
+	wg.Wait()
+}

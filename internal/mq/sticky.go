@@ -1,0 +1,111 @@
+package mq
+
+// Task batching via stickiness, the key optimization of Postnikova,
+// Koval, Nadiradze & Alistarh (PPoPP 2022) — the paper's reference for
+// the MultiQueue being a state-of-the-art priority scheduler: a worker
+// sticks to its chosen queue pair for a number of consecutive
+// operations, trading a little rank quality for much better cache
+// locality and lower contention.
+
+// Popper is a per-worker handle that amortizes queue selection across
+// sticky batches. A Popper must not be shared between goroutines.
+type Popper struct {
+	m      *MultiQueue
+	stick  int
+	leftP  int // pops remaining on the stuck pair
+	leftU  int // pushes remaining on the stuck queue
+	qi, qj uint64
+	qpush  uint64
+}
+
+// NewPopper creates a handle with the given stickiness (1 = the
+// classic MultiQueue behavior; the PPoPP'22 paper uses single-digit
+// values).
+func (m *MultiQueue) NewPopper(stickiness int) *Popper {
+	if stickiness < 1 {
+		stickiness = 1
+	}
+	return &Popper{m: m, stick: stickiness}
+}
+
+func (p *Popper) repick() {
+	n := uint64(len(p.m.queues))
+	p.qi = p.m.rand() % n
+	p.qj = p.m.rand() % n
+	if p.qi == p.qj {
+		p.qj = (p.qj + 1) % n
+	}
+	p.leftP = p.stick
+}
+
+// Pop removes the better-topped of the worker's stuck queue pair,
+// re-picking the pair every `stickiness` pops or when the pair runs
+// empty.
+func (p *Popper) Pop() (Item, bool) {
+	for attempt := 0; attempt < 3; attempt++ {
+		if p.leftP <= 0 {
+			p.repick()
+		}
+		p.leftP--
+		qi, qj := &p.m.queues[p.qi], &p.m.queues[p.qj]
+		ti, tj := qi.top.Load(), qj.top.Load()
+		if ti == emptyTop && tj == emptyTop {
+			p.leftP = 0 // pair exhausted: force a re-pick
+			continue
+		}
+		win := qi
+		if tj < ti {
+			win = qj
+		}
+		win.mu.Lock()
+		it, ok := win.pop()
+		win.mu.Unlock()
+		if ok {
+			p.m.size.Add(-1)
+			return it, true
+		}
+		p.leftP = 0
+	}
+	// Fall back to the non-sticky path (includes the full sweep).
+	return p.m.Pop()
+}
+
+// Push inserts through the sticky handle: the target queue is re-picked
+// every `stickiness` pushes.
+func (p *Popper) Push(it Item) {
+	if p.leftU <= 0 {
+		p.qpush = p.m.rand() % uint64(len(p.m.queues))
+		p.leftU = p.stick
+	}
+	p.leftU--
+	q := &p.m.queues[p.qpush]
+	q.mu.Lock()
+	q.push(it)
+	q.mu.Unlock()
+	p.m.size.Add(1)
+}
+
+// Options configures ProcessOpt.
+type Options struct {
+	// QueueFactor is the number of internal queues per worker (the
+	// literature's c); default 4.
+	QueueFactor int
+	// Stickiness batches queue selection; default 1 (classic).
+	Stickiness int
+}
+
+// ProcessOpt is Process with scheduler options: each worker drives the
+// queue through its own sticky Popper.
+func ProcessOpt(nWorkers int, seeds []Item, opt Options, task func(workerID int, it Item, push Pusher)) {
+	if nWorkers <= 0 {
+		nWorkers = 1
+	}
+	if opt.QueueFactor <= 0 {
+		opt.QueueFactor = 4
+	}
+	if opt.Stickiness < 1 {
+		opt.Stickiness = 1
+	}
+	m := New(opt.QueueFactor * nWorkers)
+	processWith(m, nWorkers, seeds, opt.Stickiness, task)
+}

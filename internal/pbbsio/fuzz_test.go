@@ -1,0 +1,77 @@
+package pbbsio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Robustness fuzzing: the readers must reject or accept arbitrary
+// bytes without panicking or allocating absurd amounts. Valid inputs
+// that parse must re-serialize to a structure that parses identically.
+
+func FuzzReadAdjacencyGraph(f *testing.F) {
+	var buf bytes.Buffer
+	f.Add("AdjacencyGraph\n2\n2\n0\n1\n1\n0\n")
+	f.Add("AdjacencyGraph\n0\n0\n")
+	f.Add("AdjacencyGraph\n1\n999999999999999\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, data string) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		g, err := ReadAdjacencyGraph(strings.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		// Accepted graphs must be structurally valid and re-serializable.
+		if g.Offs[g.N] != g.M() || int(g.M()) != len(g.Adj) {
+			t.Fatalf("accepted inconsistent graph: n=%d m=%d adj=%d", g.N, g.M(), len(g.Adj))
+		}
+		buf.Reset()
+		if err := WriteAdjacencyGraph(&buf, g); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		g2, err := ReadAdjacencyGraph(&buf)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if g2.N != g.N || g2.M() != g.M() {
+			t.Fatalf("round trip changed sizes")
+		}
+	})
+}
+
+func FuzzReadSequenceInt(f *testing.F) {
+	f.Add("sequenceInt\n1\n2\n3\n")
+	f.Add("sequenceInt\n")
+	f.Add("sequenceInt\n-1\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		xs, err := ReadSequenceInt(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSequenceInt(&buf, xs); err != nil {
+			t.Fatal(err)
+		}
+		ys, err := ReadSequenceInt(&buf)
+		if err != nil || len(ys) != len(xs) {
+			t.Fatalf("round trip: %v (%d vs %d)", err, len(ys), len(xs))
+		}
+	})
+}
+
+func FuzzReadPoints2D(f *testing.F) {
+	f.Add("pbbs_sequencePoint2d\n1.5 2.5\n")
+	f.Add("pbbs_sequencePoint2d\nNaN Inf\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16]
+		}
+		_, _ = ReadPoints2D(strings.NewReader(data)) // must not panic
+	})
+}

@@ -1,0 +1,307 @@
+// Package pbbsio reads and writes the Problem Based Benchmark Suite's
+// text file formats, so this reproduction can exchange inputs with the
+// original C++ PBBS and the Rust RPB:
+//
+//	sequenceInt                 "sequenceInt" header, one integer per line
+//	AdjacencyGraph              offsets then edge targets (CSR)
+//	WeightedAdjacencyGraph      offsets, targets, then edge weights
+//	pbbs_sequencePoint2d        x y pairs, one point per line
+//
+// All readers validate structure (counts, ranges) and return typed
+// errors rather than panicking on malformed files.
+package pbbsio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/seqgen"
+)
+
+// Format headers as PBBS writes them.
+const (
+	HeaderSequenceInt   = "sequenceInt"
+	HeaderAdjacency     = "AdjacencyGraph"
+	HeaderWeightedAdj   = "WeightedAdjacencyGraph"
+	HeaderSequencePoint = "pbbs_sequencePoint2d"
+)
+
+// scanner wraps bufio.Scanner with line counting for error reporting.
+type scanner struct {
+	s    *bufio.Scanner
+	line int
+}
+
+func newScanner(r io.Reader) *scanner {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 1<<16), 1<<24)
+	return &scanner{s: s}
+}
+
+func (sc *scanner) next() (string, error) {
+	for sc.s.Scan() {
+		sc.line++
+		tok := sc.s.Text()
+		if tok != "" {
+			return tok, nil
+		}
+	}
+	if err := sc.s.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("pbbsio: unexpected end of file at line %d", sc.line)
+}
+
+func (sc *scanner) nextInt() (int64, error) {
+	tok, err := sc.next()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("pbbsio: line %d: %w", sc.line, err)
+	}
+	return v, nil
+}
+
+func (sc *scanner) nextFloat() (float64, error) {
+	tok, err := sc.next()
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(tok, 64)
+	if err != nil {
+		return 0, fmt.Errorf("pbbsio: line %d: %w", sc.line, err)
+	}
+	return v, nil
+}
+
+func expectHeader(sc *scanner, want string) error {
+	got, err := sc.next()
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("pbbsio: bad header %q, want %q", got, want)
+	}
+	return nil
+}
+
+// WriteSequenceInt writes xs in PBBS sequenceInt format.
+func WriteSequenceInt(w io.Writer, xs []uint32) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, HeaderSequenceInt); err != nil {
+		return err
+	}
+	for _, x := range xs {
+		if _, err := fmt.Fprintln(bw, x); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSequenceInt parses a PBBS sequenceInt file.
+func ReadSequenceInt(r io.Reader) ([]uint32, error) {
+	sc := newScanner(r)
+	sc.s.Split(bufio.ScanWords)
+	if err := expectHeader(sc, HeaderSequenceInt); err != nil {
+		return nil, err
+	}
+	var out []uint32
+	for {
+		tok, err := sc.next()
+		if err != nil {
+			if len(out) > 0 || err == io.EOF {
+				break
+			}
+			break
+		}
+		v, perr := strconv.ParseUint(tok, 10, 32)
+		if perr != nil {
+			return nil, fmt.Errorf("pbbsio: line %d: %w", sc.line, perr)
+		}
+		out = append(out, uint32(v))
+	}
+	return out, nil
+}
+
+// WriteAdjacencyGraph writes g in PBBS AdjacencyGraph format: header,
+// n, m, n offsets, m edge targets.
+func WriteAdjacencyGraph(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, HeaderAdjacency)
+	fmt.Fprintln(bw, g.N)
+	fmt.Fprintln(bw, g.M())
+	for v := int32(0); v < g.N; v++ {
+		fmt.Fprintln(bw, g.Offs[v])
+	}
+	for _, u := range g.Adj {
+		fmt.Fprintln(bw, u)
+	}
+	return bw.Flush()
+}
+
+// ReadAdjacencyGraph parses a PBBS AdjacencyGraph file into CSR form.
+func ReadAdjacencyGraph(r io.Reader) (*graph.Graph, error) {
+	sc := newScanner(r)
+	sc.s.Split(bufio.ScanWords)
+	if err := expectHeader(sc, HeaderAdjacency); err != nil {
+		return nil, err
+	}
+	n, err := sc.nextInt()
+	if err != nil {
+		return nil, err
+	}
+	m, err := sc.nextInt()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || m < 0 || n > 1<<31-2 || m > 1<<31-2 {
+		return nil, fmt.Errorf("pbbsio: implausible sizes n=%d m=%d", n, m)
+	}
+	g := &graph.Graph{
+		N:    int32(n),
+		Offs: make([]int32, n+1),
+		Adj:  make([]int32, m),
+	}
+	prev := int64(0)
+	for v := int64(0); v < n; v++ {
+		off, err := sc.nextInt()
+		if err != nil {
+			return nil, err
+		}
+		if off < prev || off > m {
+			return nil, fmt.Errorf("pbbsio: offset %d of vertex %d out of order", off, v)
+		}
+		g.Offs[v] = int32(off)
+		prev = off
+	}
+	g.Offs[n] = int32(m)
+	for e := int64(0); e < m; e++ {
+		t, err := sc.nextInt()
+		if err != nil {
+			return nil, err
+		}
+		if t < 0 || t >= n {
+			return nil, fmt.Errorf("pbbsio: edge target %d out of range", t)
+		}
+		g.Adj[e] = int32(t)
+	}
+	return g, nil
+}
+
+// WriteWeightedAdjacencyGraph writes g with per-edge weights appended.
+func WriteWeightedAdjacencyGraph(w io.Writer, g *graph.WGraph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, HeaderWeightedAdj)
+	fmt.Fprintln(bw, g.N)
+	fmt.Fprintln(bw, g.M())
+	for v := int32(0); v < g.N; v++ {
+		fmt.Fprintln(bw, g.Offs[v])
+	}
+	for _, u := range g.Adj {
+		fmt.Fprintln(bw, u)
+	}
+	for _, wt := range g.Wgt {
+		fmt.Fprintln(bw, wt)
+	}
+	return bw.Flush()
+}
+
+// ReadWeightedAdjacencyGraph parses a WeightedAdjacencyGraph file.
+func ReadWeightedAdjacencyGraph(r io.Reader) (*graph.WGraph, error) {
+	sc := newScanner(r)
+	sc.s.Split(bufio.ScanWords)
+	if err := expectHeader(sc, HeaderWeightedAdj); err != nil {
+		return nil, err
+	}
+	n, err := sc.nextInt()
+	if err != nil {
+		return nil, err
+	}
+	m, err := sc.nextInt()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 || m < 0 || n > 1<<31-2 || m > 1<<31-2 {
+		return nil, fmt.Errorf("pbbsio: implausible sizes n=%d m=%d", n, m)
+	}
+	g := &graph.WGraph{
+		Graph: graph.Graph{N: int32(n), Offs: make([]int32, n+1), Adj: make([]int32, m)},
+		Wgt:   make([]uint32, m),
+	}
+	prev := int64(0)
+	for v := int64(0); v < n; v++ {
+		off, err := sc.nextInt()
+		if err != nil {
+			return nil, err
+		}
+		if off < prev || off > m {
+			return nil, fmt.Errorf("pbbsio: offset %d of vertex %d out of order", off, v)
+		}
+		g.Offs[v] = int32(off)
+		prev = off
+	}
+	g.Offs[n] = int32(m)
+	for e := int64(0); e < m; e++ {
+		t, err := sc.nextInt()
+		if err != nil {
+			return nil, err
+		}
+		if t < 0 || t >= n {
+			return nil, fmt.Errorf("pbbsio: edge target %d out of range", t)
+		}
+		g.Adj[e] = int32(t)
+	}
+	for e := int64(0); e < m; e++ {
+		wt, err := sc.nextInt()
+		if err != nil {
+			return nil, err
+		}
+		if wt < 0 || wt > 1<<32-1 {
+			return nil, fmt.Errorf("pbbsio: weight %d out of range", wt)
+		}
+		g.Wgt[e] = uint32(wt)
+	}
+	return g, nil
+}
+
+// WritePoints2D writes points in pbbs_sequencePoint2d format.
+func WritePoints2D(w io.Writer, pts []seqgen.Point) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, HeaderSequencePoint)
+	for _, p := range pts {
+		fmt.Fprintln(bw, p.X, p.Y)
+	}
+	return bw.Flush()
+}
+
+// ReadPoints2D parses a pbbs_sequencePoint2d file.
+func ReadPoints2D(r io.Reader) ([]seqgen.Point, error) {
+	sc := newScanner(r)
+	sc.s.Split(bufio.ScanWords)
+	if err := expectHeader(sc, HeaderSequencePoint); err != nil {
+		return nil, err
+	}
+	var out []seqgen.Point
+	for {
+		xs, err := sc.next()
+		if err != nil {
+			break
+		}
+		x, perr := strconv.ParseFloat(xs, 64)
+		if perr != nil {
+			return nil, fmt.Errorf("pbbsio: line %d: %w", sc.line, perr)
+		}
+		y, err := sc.nextFloat()
+		if err != nil {
+			return nil, fmt.Errorf("pbbsio: dangling x coordinate: %w", err)
+		}
+		out = append(out, seqgen.Point{X: x, Y: y})
+	}
+	return out, nil
+}

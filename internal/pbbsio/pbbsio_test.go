@@ -1,0 +1,215 @@
+package pbbsio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/seqgen"
+)
+
+func TestSequenceIntRoundTrip(t *testing.T) {
+	xs := []uint32{0, 5, 4294967295, 17}
+	var buf bytes.Buffer
+	if err := WriteSequenceInt(&buf, xs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), HeaderSequenceInt+"\n") {
+		t.Fatalf("missing header: %q", buf.String()[:20])
+	}
+	got, err := ReadSequenceInt(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(xs) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("got %v, want %v", got, xs)
+		}
+	}
+}
+
+func TestSequenceIntPropertyRoundTrip(t *testing.T) {
+	f := func(xs []uint32) bool {
+		var buf bytes.Buffer
+		if err := WriteSequenceInt(&buf, xs); err != nil {
+			return false
+		}
+		got, err := ReadSequenceInt(&buf)
+		if err != nil || len(got) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			if got[i] != xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequenceIntBadHeader(t *testing.T) {
+	if _, err := ReadSequenceInt(strings.NewReader("wrongHeader\n1\n")); err == nil {
+		t.Fatal("accepted bad header")
+	}
+}
+
+func TestSequenceIntBadValue(t *testing.T) {
+	if _, err := ReadSequenceInt(strings.NewReader("sequenceInt\n1\nxyz\n")); err == nil {
+		t.Fatal("accepted non-numeric value")
+	}
+	if _, err := ReadSequenceInt(strings.NewReader("sequenceInt\n-5\n")); err == nil {
+		t.Fatal("accepted negative value for uint32 sequence")
+	}
+}
+
+func graphsEqual(a, b *graph.Graph) bool {
+	if a.N != b.N || a.M() != b.M() {
+		return false
+	}
+	for v := int32(0); v <= a.N; v++ {
+		if a.Offs[v] != b.Offs[v] {
+			return false
+		}
+	}
+	for e := range a.Adj {
+		if a.Adj[e] != b.Adj[e] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAdjacencyGraphRoundTrip(t *testing.T) {
+	g := graph.BuildCSR(nil, 4, []graph.Edge{{From: 0, To: 1}, {From: 0, To: 2}, {From: 1, To: 3}, {From: 3, To: 0}})
+	var buf bytes.Buffer
+	if err := WriteAdjacencyGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAdjacencyGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("graph round trip mismatch")
+	}
+}
+
+func TestAdjacencyGraphGeneratedRoundTrip(t *testing.T) {
+	edges := graph.RMAT(nil, 8, 4, 3)
+	g := graph.BuildCSR(nil, 256, edges)
+	var buf bytes.Buffer
+	if err := WriteAdjacencyGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAdjacencyGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("generated graph round trip mismatch")
+	}
+}
+
+func TestAdjacencyGraphRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"bad header":        "NotAGraph\n2\n1\n0\n1\n",
+		"truncated offsets": "AdjacencyGraph\n3\n2\n0\n",
+		"offset too big":    "AdjacencyGraph\n2\n1\n0\n9\n0\n",
+		"offset decreasing": "AdjacencyGraph\n3\n2\n0\n2\n1\n0\n0\n",
+		"target range":      "AdjacencyGraph\n2\n1\n0\n0\n7\n",
+		"negative n":        "AdjacencyGraph\n-2\n1\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadAdjacencyGraph(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted malformed file", name)
+		}
+	}
+}
+
+func TestWeightedAdjacencyRoundTrip(t *testing.T) {
+	g := graph.BuildWCSR(nil, 3, []graph.WEdge{{From: 0, To: 1, W: 7}, {From: 1, To: 2, W: 9}, {From: 2, To: 0, W: 1}})
+	var buf bytes.Buffer
+	if err := WriteWeightedAdjacencyGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWeightedAdjacencyGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(&g.Graph, &got.Graph) {
+		t.Fatal("weighted graph structure mismatch")
+	}
+	for e := range g.Wgt {
+		if g.Wgt[e] != got.Wgt[e] {
+			t.Fatalf("weight %d mismatch", e)
+		}
+	}
+}
+
+func TestWeightedAdjacencyRejectsMalformed(t *testing.T) {
+	if _, err := ReadWeightedAdjacencyGraph(strings.NewReader("WeightedAdjacencyGraph\n1\n1\n0\n0\n-3\n")); err == nil {
+		t.Fatal("accepted negative weight")
+	}
+	if _, err := ReadWeightedAdjacencyGraph(strings.NewReader("AdjacencyGraph\n1\n0\n0\n")); err == nil {
+		t.Fatal("accepted unweighted header")
+	}
+}
+
+func TestPoints2DRoundTrip(t *testing.T) {
+	pts := seqgen.KuzminPoints(nil, 500, 4)
+	var buf bytes.Buffer
+	if err := WritePoints2D(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPoints2D(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("got %d points, want %d", len(got), len(pts))
+	}
+	for i := range pts {
+		if got[i] != pts[i] {
+			t.Fatalf("point %d: %v != %v", i, got[i], pts[i])
+		}
+	}
+}
+
+func TestPoints2DRejectsMalformed(t *testing.T) {
+	if _, err := ReadPoints2D(strings.NewReader("pbbs_sequencePoint2d\n1.5\n")); err == nil {
+		t.Fatal("accepted dangling coordinate")
+	}
+	if _, err := ReadPoints2D(strings.NewReader("pbbs_sequencePoint2d\nab cd\n")); err == nil {
+		t.Fatal("accepted non-numeric coordinates")
+	}
+	if _, err := ReadPoints2D(strings.NewReader("bogus\n")); err == nil {
+		t.Fatal("accepted bad header")
+	}
+}
+
+func TestEmptySequences(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSequenceInt(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSequenceInt(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty sequence: %v %v", got, err)
+	}
+	buf.Reset()
+	if err := WritePoints2D(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := ReadPoints2D(&buf)
+	if err != nil || len(pts) != 0 {
+		t.Fatalf("empty points: %v %v", pts, err)
+	}
+}

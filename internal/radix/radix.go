@@ -1,0 +1,132 @@
+// Package radix implements a parallel least-significant-digit radix
+// sort over 8-bit digits — the kernel under the isort benchmark and the
+// suffix-array construction. Each counting pass is the textbook PBBS
+// composition of the suite's patterns: a Block pass counting digit
+// occurrences per input chunk, a scan over the (digit, chunk) count
+// matrix, and a scatter in which each chunk writes its elements through
+// precomputed disjoint cursors — SngInd with independence guaranteed by
+// the scan (the algorithmic guarantee the paper's Sec 5.1 discusses).
+package radix
+
+import "repro/internal/core"
+
+const digitBits = 8
+const radixSize = 1 << digitBits
+
+// blockSizeFor picks the per-chunk grain for counting passes.
+func blockSizeFor(n int) int {
+	bs := 1 << 14
+	if n < bs {
+		bs = n
+	}
+	if bs == 0 {
+		bs = 1
+	}
+	return bs
+}
+
+// SortPairs sorts keys (and vals along with it) by ascending key,
+// examining only the low `bits` bits of each key. vals may be nil.
+// Both slices are reordered in place; O(n) scratch is allocated.
+func SortPairs(w *core.Worker, keys []uint64, vals []int32, bits int) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	if vals != nil && len(vals) != n {
+		panic("radix.SortPairs: keys/vals length mismatch")
+	}
+	passes := (bits + digitBits - 1) / digitBits
+	if passes == 0 {
+		passes = 1
+	}
+	keyBuf := make([]uint64, n)
+	var valBuf []int32
+	if vals != nil {
+		valBuf = make([]int32, n)
+	}
+	srcK, dstK := keys, keyBuf
+	srcV, dstV := vals, valBuf
+	for p := 0; p < passes; p++ {
+		shift := uint(p * digitBits)
+		countingPass(w, srcK, srcV, dstK, dstV, shift)
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	if passes%2 == 1 {
+		core.CopyInto(w, keys, srcK)
+		if vals != nil {
+			core.CopyInto(w, vals, srcV)
+		}
+	}
+}
+
+// countingPass performs one stable counting-sort pass on the digit at
+// shift, from src into dst.
+func countingPass(w *core.Worker, srcK []uint64, srcV []int32, dstK []uint64, dstV []int32, shift uint) {
+	n := len(srcK)
+	bs := blockSizeFor(n)
+	nb := (n + bs - 1) / bs
+	// counts is digit-major: counts[d*nb + b] = occurrences of digit d
+	// in block b. Digit-major layout makes the global exclusive scan
+	// directly yield each (digit, block) write cursor.
+	counts := make([]int32, radixSize*nb)
+	core.ForRange(w, 0, nb, 1, func(b int) {
+		lo, hi := b*bs, (b+1)*bs
+		if hi > n {
+			hi = n
+		}
+		var local [radixSize]int32
+		for i := lo; i < hi; i++ {
+			local[(srcK[i]>>shift)&(radixSize-1)]++
+		}
+		for d := 0; d < radixSize; d++ {
+			counts[d*nb+b] = local[d]
+		}
+	})
+	core.ScanExclusive(w, counts)
+	core.ForRange(w, 0, nb, 1, func(b int) {
+		lo, hi := b*bs, (b+1)*bs
+		if hi > n {
+			hi = n
+		}
+		var cursor [radixSize]int32
+		for d := 0; d < radixSize; d++ {
+			cursor[d] = counts[d*nb+b]
+		}
+		for i := lo; i < hi; i++ {
+			d := (srcK[i] >> shift) & (radixSize - 1)
+			at := cursor[d]
+			cursor[d]++
+			dstK[at] = srcK[i]
+			if srcV != nil {
+				dstV[at] = srcV[i]
+			}
+		}
+	})
+}
+
+// SortU32 sorts keys ascending, examining only the low `bits` bits.
+func SortU32(w *core.Worker, keys []uint32, bits int) {
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	wide := make([]uint64, n)
+	core.ForRange(w, 0, n, 0, func(i int) { wide[i] = uint64(keys[i]) })
+	SortPairs(w, wide, nil, bits)
+	core.ForRange(w, 0, n, 0, func(i int) { keys[i] = uint32(wide[i]) })
+}
+
+// BitsFor returns the number of bits needed to represent max.
+func BitsFor(max uint64) int {
+	b := 0
+	for max > 0 {
+		b++
+		max >>= 1
+	}
+	if b == 0 {
+		b = 1
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// Fig4Config controls the execution-time comparisons.
+type Fig4Config struct {
+	Scale   bench.Scale
+	Threads int // the paper's 24-thread point; clamp to the host
+	Reps    int
+	Benches []string // empty = all
+}
+
+// fig4Row is one bench-input measurement pair.
+type fig4Row struct {
+	key            string
+	direct, lib    float64 // seconds at Threads
+	direct1, lib1  float64 // seconds at 1 thread
+	scaleD, scaleL float64 // speedup of Threads over 1 thread
+}
+
+func (c Fig4Config) selected() []bench.Spec {
+	all := bench.All()
+	if len(c.Benches) == 0 {
+		return all
+	}
+	want := map[string]bool{}
+	for _, b := range c.Benches {
+		want[b] = true
+	}
+	var out []bench.Spec
+	for _, s := range all {
+		if want[s.Name] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Fig4 runs the library-vs-direct comparison at 1 thread (Fig 4a) and
+// at Threads threads with scaling dots (Fig 4b), printing normalized
+// execution times the way the paper reports them (direct baseline = 1.0,
+// playing the role of C++ PBBS).
+func Fig4(w io.Writer, cfg Fig4Config) error {
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	if cfg.Threads < 1 {
+		cfg.Threads = 4
+	}
+	core.SetMode(core.ModeUnchecked) // the paper's Fig 4 uses unsafe SngInd/AW
+	var rows []fig4Row
+	for _, spec := range cfg.selected() {
+		for _, input := range spec.Inputs {
+			inst := spec.Make(input, cfg.Scale)
+			r := fig4Row{key: spec.Name + "-" + input}
+			var err error
+			if r.direct1, err = bench.Measure(inst, bench.VariantDirect, 1, cfg.Reps); err != nil {
+				return fmt.Errorf("%s direct@1: %w", r.key, err)
+			}
+			if r.lib1, err = bench.Measure(inst, bench.VariantLibrary, 1, cfg.Reps); err != nil {
+				return fmt.Errorf("%s rpb@1: %w", r.key, err)
+			}
+			if r.direct, err = bench.Measure(inst, bench.VariantDirect, cfg.Threads, cfg.Reps); err != nil {
+				return fmt.Errorf("%s direct@%d: %w", r.key, cfg.Threads, err)
+			}
+			if r.lib, err = bench.Measure(inst, bench.VariantLibrary, cfg.Threads, cfg.Reps); err != nil {
+				return fmt.Errorf("%s rpb@%d: %w", r.key, cfg.Threads, err)
+			}
+			r.scaleD = r.direct1 / r.direct
+			r.scaleL = r.lib1 / r.lib
+			rows = append(rows, r)
+		}
+	}
+
+	fmt.Fprintf(w, "Fig 4(a): execution time at 1 thread, normalized to the direct baseline\n")
+	fmt.Fprintf(w, "%-12s %12s %12s %10s\n", "bench", "direct(s)", "rpb(s)", "rpb/direct")
+	var ratios1 []float64
+	for _, r := range rows {
+		ratio := r.lib1 / r.direct1
+		ratios1 = append(ratios1, ratio)
+		fmt.Fprintf(w, "%-12s %12.4f %12.4f %10.2f\n", r.key, r.direct1, r.lib1, ratio)
+	}
+	fmt.Fprintf(w, "%-12s %37s %2.2f   (paper: RPB 1.09x faster, i.e. 0.92)\n", "gmean", "", bench.GeoMean(ratios1))
+
+	fmt.Fprintf(w, "\nFig 4(b): execution time at %d threads, normalized; scaling vs own 1-thread\n", cfg.Threads)
+	fmt.Fprintf(w, "%-12s %12s %12s %10s %9s %9s\n", "bench", "direct(s)", "rpb(s)", "rpb/direct", "scale-dir", "scale-rpb")
+	var ratiosN []float64
+	for _, r := range rows {
+		ratio := r.lib / r.direct
+		ratiosN = append(ratiosN, ratio)
+		fmt.Fprintf(w, "%-12s %12.4f %12.4f %10.2f %9.2f %9.2f\n",
+			r.key, r.direct, r.lib, ratio, r.scaleD, r.scaleL)
+	}
+	fmt.Fprintf(w, "%-12s %37s %2.2f   (paper: RPB 1.44x slower at 24c)\n", "gmean", "", bench.GeoMean(ratiosN))
+	return nil
+}

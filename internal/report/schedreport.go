@@ -1,0 +1,57 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// SchedReport characterizes the work-stealing runtime under the suite
+// itself: it runs a representative benchmark at several worker counts
+// and reports per-pool task counts, steal ratios, and parks — the
+// observable side of the paper's Sec 7.3 discussion of runtime
+// management (Rayon vs Cilk) that wall-clock numbers alone cannot
+// separate from language effects.
+func SchedReport(w io.Writer, scale bench.Scale, benchName string, workerCounts []int) error {
+	if benchName == "" {
+		benchName = "sort"
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	spec, err := bench.Find(benchName)
+	if err != nil {
+		return err
+	}
+	core.SetMode(core.ModeUnchecked)
+	fmt.Fprintf(w, "Scheduler characterization on %s-%s\n", spec.Name, spec.Inputs[0])
+	fmt.Fprintf(w, "%-8s %10s %10s %10s %12s\n", "workers", "executed", "stolen", "parked", "steal-ratio")
+	for _, n := range workerCounts {
+		inst := spec.Make(spec.Inputs[0], scale)
+		pool := core.NewPool(n)
+		pool.Do(func(wk *core.Worker) { inst.RunLibrary(wk) })
+		if inst.Verify != nil {
+			if err := inst.Verify(); err != nil {
+				pool.Close()
+				return fmt.Errorf("workers=%d: %w", n, err)
+			}
+		}
+		stats := pool.Stats()
+		pool.Close()
+		var executed, stolen, parked int64
+		for _, s := range stats {
+			executed += s.Executed
+			stolen += s.Stolen
+			parked += s.Parked
+		}
+		ratio := 0.0
+		if executed > 0 {
+			ratio = float64(stolen) / float64(executed)
+		}
+		fmt.Fprintf(w, "%-8d %10d %10d %10d %11.1f%%\n", n, executed, stolen, parked, 100*ratio)
+	}
+	fmt.Fprintln(w, "(steal ratio = share of executed tasks obtained by stealing; rises with workers)")
+	return nil
+}

@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// TaskPanic wraps a panic that escaped a task running on the pool, so
+// it can be re-raised at the fork point (Join, Do) instead of killing
+// an arbitrary worker goroutine. Value is the original panic value and
+// Stack the panicking task's stack.
+type TaskPanic struct {
+	Value any
+	Stack string
+}
+
+func (p *TaskPanic) Error() string {
+	return fmt.Sprintf("sched: task panicked: %v", p.Value)
+}
+
+// capture runs f(w), converting a panic into a *TaskPanic. A nested
+// *TaskPanic (already wrapped at an inner fork point) passes through
+// unwrapped so the original site's stack survives.
+func capture(f func(w *Worker), w *Worker) (tp *TaskPanic) {
+	defer func() {
+		if r := recover(); r != nil {
+			if inner, ok := r.(*TaskPanic); ok {
+				tp = inner
+				return
+			}
+			tp = &TaskPanic{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	f(w)
+	return nil
+}
+
+// Join runs fa and fb, potentially in parallel, and returns when both have
+// completed. fb is made available for stealing while the current worker
+// runs fa; if nobody stole it, the current worker runs it too. While
+// waiting for a stolen fb, the worker helps by executing other pool tasks
+// (help-first joining, as in Cilk and Rayon).
+//
+// A panic in either branch is re-raised from Join as a *TaskPanic —
+// after both branches have completed, preserving structured
+// concurrency even on the failure path.
+func (w *Worker) Join(fa, fb func(w *Worker)) {
+	var done atomic.Bool
+	var fbPanic atomic.Pointer[TaskPanic]
+	t := Task(func(w2 *Worker) {
+		if tp := capture(fb, w2); tp != nil {
+			fbPanic.Store(tp)
+		}
+		done.Store(true)
+	})
+	w.Spawn(&t)
+	faPanic := capture(fa, w)
+	// Fast path: the task we spawned is still at the bottom of our deque
+	// if fa spawned and joined in strict stack order.
+	for {
+		if done.Load() {
+			if faPanic != nil {
+				panic(faPanic)
+			}
+			if tp := fbPanic.Load(); tp != nil {
+				panic(tp)
+			}
+			return
+		}
+		local := w.deque.PopBottom()
+		if local != nil {
+			w.pool.pending.Add(-1)
+			w.nExecuted.Add(1)
+			(*local)(w)
+			continue
+		}
+		// Our deque is empty; the spawned task was stolen (or routed to
+		// the injector). Help with any available work while waiting.
+		other := w.pool.popInjector()
+		if other == nil {
+			other = w.trySteal()
+		}
+		if other != nil {
+			w.pool.pending.Add(-1)
+			w.nExecuted.Add(1)
+			(*other)(w)
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// For executes body over [lo, hi) by recursive binary splitting, creating
+// stealable subranges until ranges are at most grain elements. grain <= 0
+// selects an automatic grain (about 8 tasks per worker). body may be
+// invoked concurrently on disjoint subranges and must be safe under that
+// concurrency.
+func (w *Worker) For(lo, hi, grain int, body func(w *Worker, lo, hi int)) {
+	if hi <= lo {
+		return
+	}
+	if grain <= 0 {
+		grain = grainFor(hi-lo, w.pool.Workers())
+	}
+	w.forSplit(lo, hi, grain, body)
+}
+
+func (w *Worker) forSplit(lo, hi, grain int, body func(w *Worker, lo, hi int)) {
+	for hi-lo > grain {
+		mid := lo + (hi-lo)/2
+		lo2, hi2 := mid, hi
+		w.Join(
+			func(w *Worker) { w.forSplit(lo, mid, grain, body) },
+			func(w *Worker) { w.forSplit(lo2, hi2, grain, body) },
+		)
+		return
+	}
+	body(w, lo, hi)
+}
+
+// ForEachWorker runs body once per pool worker, in parallel, passing each
+// invocation its worker. It is useful for initializing or reducing
+// per-worker scratch state.
+func (w *Worker) ForEachWorker(body func(w *Worker)) {
+	n := w.pool.Workers()
+	w.For(0, n, 1, func(w *Worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(w)
+		}
+	})
+}
+
+// Sequential reports whether the pool has a single worker, in which case
+// callers may prefer cheaper sequential code paths.
+func (w *Worker) Sequential() bool { return w.pool.Workers() == 1 }
+
+// SpawnTask schedules f to run asynchronously on the pool (a closure
+// convenience over Spawn).
+func (w *Worker) SpawnTask(f func(w *Worker)) {
+	t := Task(f)
+	w.Spawn(&t)
+}
+
+// HelpUntil executes available pool work until cond() reports true. It
+// is the waiting discipline of Join exposed for user-level
+// synchronization (futures): the waiter makes progress on other tasks
+// instead of blocking. cond must eventually be satisfied by work
+// reachable from the pool (a task that only completes outside the pool
+// can stall the helper on nested waits).
+func (w *Worker) HelpUntil(cond func() bool) {
+	for !cond() {
+		if t := w.next(); t != nil {
+			w.pool.pending.Add(-1)
+			w.nExecuted.Add(1)
+			(*t)(w)
+			continue
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,319 @@
+// Package sched implements a Cilk/Rayon-style work-stealing scheduler:
+// a fixed pool of worker goroutines, each owning a Chase-Lev deque, with
+// random stealing, an overflow injector queue, and help-first joins.
+//
+// This is the runtime substrate under the parallel-patterns library in
+// internal/core, playing the role Rayon's thread pool plays in the paper.
+package sched
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is a unit of work executed by a pool worker. The worker executing
+// the task is passed in so the task can spawn and join subtasks.
+type Task func(w *Worker)
+
+// Pool is a work-stealing pool of worker goroutines.
+type Pool struct {
+	workers []*Worker
+
+	mu       sync.Mutex
+	injector []*Task // overflow + external-submission queue (LIFO)
+	parked   []*Worker
+	closed   bool
+
+	// pending counts tasks submitted but not yet started, used only to
+	// keep parked workers from missing work; correctness does not depend
+	// on it being exact.
+	pending atomic.Int64
+
+	seq atomic.Uint64 // seed sequence for worker RNGs
+}
+
+// Worker is a single pool worker. Worker methods (Spawn, Join, For) may
+// be called only from code running on this worker.
+type Worker struct {
+	pool  *Pool
+	id    int
+	deque deque
+	rng   uint64
+	park  chan struct{}
+
+	// Observability counters (atomic; owner-incremented, racily read).
+	nExecuted atomic.Int64
+	nStolen   atomic.Int64
+	nParked   atomic.Int64
+}
+
+// WorkerStats is a snapshot of one worker's activity counters.
+type WorkerStats struct {
+	Executed int64 // tasks this worker ran
+	Stolen   int64 // tasks it obtained by stealing from a victim
+	Parked   int64 // times it went to sleep for lack of work
+}
+
+// Stats returns a racy snapshot of per-worker activity since the pool
+// started — the observability hook behind the scheduler ablations.
+func (p *Pool) Stats() []WorkerStats {
+	out := make([]WorkerStats, len(p.workers))
+	for i, w := range p.workers {
+		out[i] = WorkerStats{
+			Executed: w.nExecuted.Load(),
+			Stolen:   w.nStolen.Load(),
+			Parked:   w.nParked.Load(),
+		}
+	}
+	return out
+}
+
+// NewPool starts a pool with n workers. If n <= 0, GOMAXPROCS workers are
+// started. The pool runs until Close is called.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{}
+	p.workers = make([]*Worker, n)
+	for i := range p.workers {
+		w := &Worker{
+			pool: p,
+			id:   i,
+			rng:  splitmix64(uint64(i+1) * 0x9e3779b97f4a7c15),
+			park: make(chan struct{}, 1),
+		}
+		p.workers[i] = w
+	}
+	for _, w := range p.workers {
+		go w.run()
+	}
+	return p
+}
+
+// Workers returns the number of workers in the pool.
+func (p *Pool) Workers() int { return len(p.workers) }
+
+// Close shuts the pool down. Tasks still queued are dropped; callers must
+// ensure all Do calls have returned before closing.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	parked := p.parked
+	p.parked = nil
+	p.mu.Unlock()
+	for _, w := range parked {
+		select {
+		case w.park <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Do runs f on some pool worker and waits for it (and only it) to return.
+// Do must be called from outside the pool; pool tasks that need nested
+// parallelism should use Worker.Join or Worker.For instead. A panic in
+// f (or in a joined subtask) is re-raised from Do as a *TaskPanic.
+func (p *Pool) Do(f func(w *Worker)) {
+	done := make(chan *TaskPanic, 1)
+	t := Task(func(w *Worker) {
+		done <- capture(f, w)
+	})
+	p.inject(&t)
+	if tp := <-done; tp != nil {
+		panic(tp)
+	}
+}
+
+// inject adds a task to the global queue and wakes a parked worker.
+func (p *Pool) inject(t *Task) {
+	p.pending.Add(1)
+	p.mu.Lock()
+	p.injector = append(p.injector, t)
+	p.mu.Unlock()
+	p.wakeOne()
+}
+
+// popInjector removes a task from the global queue, or returns nil.
+func (p *Pool) popInjector() *Task {
+	if p.pending.Load() == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	var t *Task
+	if n := len(p.injector); n > 0 {
+		t = p.injector[n-1]
+		p.injector[n-1] = nil
+		p.injector = p.injector[:n-1]
+	}
+	p.mu.Unlock()
+	return t
+}
+
+// wakeOne unparks a single parked worker, if any.
+func (p *Pool) wakeOne() {
+	p.mu.Lock()
+	var w *Worker
+	if n := len(p.parked); n > 0 {
+		w = p.parked[n-1]
+		p.parked = p.parked[:n-1]
+	}
+	p.mu.Unlock()
+	if w != nil {
+		select {
+		case w.park <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// ID returns the worker's index in [0, Pool.Workers()). It is stable for
+// the lifetime of the pool, making it usable for per-worker scratch space.
+func (w *Worker) ID() int { return w.id }
+
+// Pool returns the pool this worker belongs to.
+func (w *Worker) Pool() *Pool { return w.pool }
+
+// Spawn schedules t to run asynchronously on the pool. The caller is
+// responsible for tracking completion (Join does this automatically).
+func (w *Worker) Spawn(t *Task) {
+	w.pool.pending.Add(1)
+	if !w.deque.PushBottom(t) {
+		// Deque full: fall back to the injector. pending was already
+		// incremented, so inject manually to avoid double counting.
+		w.pool.mu.Lock()
+		w.pool.injector = append(w.pool.injector, t)
+		w.pool.mu.Unlock()
+	}
+	w.pool.wakeOne()
+}
+
+// next finds the next task to run: own deque, then injector, then steal.
+func (w *Worker) next() *Task {
+	if t := w.deque.PopBottom(); t != nil {
+		return t
+	}
+	if t := w.pool.popInjector(); t != nil {
+		return t
+	}
+	return w.trySteal()
+}
+
+// trySteal attempts a few rounds of random-victim stealing.
+func (w *Worker) trySteal() *Task {
+	n := len(w.pool.workers)
+	if n <= 1 {
+		return nil
+	}
+	for round := 0; round < 2; round++ {
+		start := int(w.nextRand() % uint64(n))
+		for i := 0; i < n; i++ {
+			v := w.pool.workers[(start+i)%n]
+			if v == w {
+				continue
+			}
+			if t := v.deque.Steal(); t != nil {
+				w.nStolen.Add(1)
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// run is the worker main loop.
+func (w *Worker) run() {
+	idleSpins := 0
+	for {
+		t := w.next()
+		if t != nil {
+			idleSpins = 0
+			w.pool.pending.Add(-1)
+			w.nExecuted.Add(1)
+			(*t)(w)
+			continue
+		}
+		idleSpins++
+		if idleSpins < 4 {
+			runtime.Gosched()
+			continue
+		}
+		// Park until new work is injected or spawned.
+		p := w.pool
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		if p.pending.Load() > 0 {
+			p.mu.Unlock()
+			idleSpins = 0
+			continue
+		}
+		p.parked = append(p.parked, w)
+		p.mu.Unlock()
+		w.nParked.Add(1)
+		<-w.park
+		p.mu.Lock()
+		closed := p.closed
+		// Remove self from parked list if still present (spurious wake
+		// paths leave us there).
+		for i, pw := range p.parked {
+			if pw == w {
+				p.parked = append(p.parked[:i], p.parked[i+1:]...)
+				break
+			}
+		}
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+		idleSpins = 0
+	}
+}
+
+// nextRand returns the next value of the worker's xorshift RNG.
+func (w *Worker) nextRand() uint64 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	return x
+}
+
+// splitmix64 is used to seed worker RNGs with well-mixed values.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
+// grainFor picks a default grain so a balanced recursive split produces
+// roughly 8 tasks per worker, the Rayon heuristic.
+func grainFor(n, workers int) int {
+	if workers <= 0 {
+		workers = 1
+	}
+	g := n / (workers * 8)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// ceilPow2 returns the smallest power of two >= v (v > 0).
+func ceilPow2(v int) int {
+	if v <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(v-1))
+}

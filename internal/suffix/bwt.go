@@ -1,0 +1,140 @@
+package suffix
+
+import (
+	"repro/internal/core"
+)
+
+// BWTDecode inverts BWTEncode: given the last column over the rotations
+// of s+"\x00" (sentinel byte 0 appearing exactly once), it reconstructs
+// s. This is the bw benchmark's kernel.
+//
+// The decode is the paper's showcase of mixed regularity: computing the
+// LF mapping is one stable counting-sort pass (Block counts + scan +
+// disjoint cursor writes), and reconstruction uses parallel list
+// ranking by pointer doubling — Stride passes whose final scatter
+// out[n-1-t(i)] = L[i] is SngInd, independent because the walk
+// positions t(i) form a permutation.
+func BWTDecode(w *core.Worker, bwt []byte) []byte {
+	return BWTDecodeOpts(w, bwt, false)
+}
+
+// BWTDecodeOpts is BWTDecode with the SngInd expression switch: when
+// checked is true the final scatter through the walk-position
+// permutation goes through core.IndForEach (run-time uniqueness check,
+// Fig 5a); otherwise it is the unchecked unsafe-analog scatter.
+func BWTDecodeOpts(w *core.Worker, bwt []byte, checked bool) []byte {
+	n1 := len(bwt) // n+1 including sentinel
+	if n1 <= 1 {
+		return nil
+	}
+	lf := lfMapping(w, bwt)
+	// Break the cycle at the sentinel row: the node z with bwt[z] == 0
+	// is the last node of the walk that starts at row 0.
+	const nilNode = int32(-1)
+	nxt := make([]int32, n1)
+	dst := make([]int32, n1)
+	core.ForRange(w, 0, n1, 0, func(i int) {
+		if bwt[i] == 0 {
+			nxt[i] = nilNode
+			dst[i] = 0
+		} else {
+			nxt[i] = lf[i]
+			dst[i] = 1
+		}
+	})
+	// Pointer doubling: after ceil(log2(n1)) rounds every node points at
+	// NIL and dst holds its distance to the chain end.
+	nxtB := make([]int32, n1)
+	dstB := make([]int32, n1)
+	for span := 1; span < n1; span *= 2 {
+		core.ForRange(w, 0, n1, 0, func(i int) {
+			if nx := nxt[i]; nx != nilNode {
+				dstB[i] = dst[i] + dst[nx]
+				nxtB[i] = nxt[nx]
+			} else {
+				dstB[i] = dst[i]
+				nxtB[i] = nilNode
+			}
+		})
+		nxt, nxtB = nxtB, nxt
+		dst, dstB = dstB, dst
+	}
+	n := n1 - 1
+	// Row i's character lands at output position dst[i]-1 (the sentinel
+	// row has dst == 0). Writing through buf[dst[i]] makes the targets a
+	// permutation of [0, n1) — a SngInd scatter whose independence only
+	// the algorithm knows.
+	buf := make([]byte, n1)
+	if checked {
+		if err := core.IndForEach(w, buf, dst, func(i int, slot *byte) { *slot = bwt[i] }); err != nil {
+			panic("suffix: decode positions not a permutation: " + err.Error())
+		}
+	} else {
+		core.IndForEachUnchecked(w, buf, dst, func(i int, slot *byte) { *slot = bwt[i] })
+	}
+	return buf[1 : n+1]
+}
+
+// lfMapping computes the LF map: lf[i] is the row reached by one
+// backward step in the BWT, equal to the stable-sorted position of
+// bwt[i]. It is one counting-sort pass: per-block character counts, an
+// exclusive scan over the (char, block) matrix, and disjoint cursor
+// assignment per block.
+func lfMapping(w *core.Worker, bwt []byte) []int32 {
+	n := len(bwt)
+	bs := 1 << 14
+	if n < bs {
+		bs = n
+	}
+	nb := (n + bs - 1) / bs
+	counts := make([]int32, 256*nb)
+	core.ForRange(w, 0, nb, 1, func(b int) {
+		lo, hi := b*bs, (b+1)*bs
+		if hi > n {
+			hi = n
+		}
+		var local [256]int32
+		for i := lo; i < hi; i++ {
+			local[bwt[i]]++
+		}
+		for c := 0; c < 256; c++ {
+			counts[c*nb+b] = local[c]
+		}
+	})
+	core.ScanExclusive(w, counts)
+	lf := make([]int32, n)
+	core.ForRange(w, 0, nb, 1, func(b int) {
+		lo, hi := b*bs, (b+1)*bs
+		if hi > n {
+			hi = n
+		}
+		var cursor [256]int32
+		for c := 0; c < 256; c++ {
+			cursor[c] = counts[c*nb+b]
+		}
+		for i := lo; i < hi; i++ {
+			c := bwt[i]
+			lf[i] = cursor[c]
+			cursor[c]++
+		}
+	})
+	return lf
+}
+
+// BWTDecodeSequential is the straightforward sequential inverse BWT —
+// the oracle for tests and the 1-thread baseline.
+func BWTDecodeSequential(bwt []byte) []byte {
+	n1 := len(bwt)
+	if n1 <= 1 {
+		return nil
+	}
+	lf := lfMapping(nil, bwt)
+	n := n1 - 1
+	out := make([]byte, n)
+	p := int32(0)
+	for t := 0; t < n; t++ {
+		out[n-1-t] = bwt[p]
+		p = lf[p]
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package suffix
+
+// DC3 / skew: the linear-work suffix-array construction of Kärkkäinen &
+// Sanders ("Simple Linear Work Suffix Array Construction", ICALP 2003).
+// Provided as an alternative to the prefix-doubling builder: a
+// sequential O(n) algorithm that serves as a fast oracle at large input
+// sizes and as an ablation partner (see BenchmarkArrayAlgorithms). The
+// implementation follows the paper's reference structure: sort the
+// mod-1/mod-2 suffixes by recursing on their triple names, sort the
+// mod-0 suffixes using that result, and merge.
+
+// ArrayDC3 computes the suffix array of s with the skew algorithm.
+func ArrayDC3(s []byte) []int32 {
+	n := len(s)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []int32{0}
+	}
+	// Shift bytes to [1, 256] so 0 can pad.
+	t := make([]int32, n+3)
+	for i, b := range s {
+		t[i] = int32(b) + 1
+	}
+	sa := make([]int32, n)
+	skew(t, sa, n, 256)
+	return sa
+}
+
+// radixPass stably sorts a into b by key r[a[i]+shift], keys in [0, K].
+func radixPass(a, b, r []int32, shift, n int, K int) {
+	counts := make([]int32, K+2)
+	for i := 0; i < n; i++ {
+		counts[r[int(a[i])+shift]+1]++
+	}
+	for k := 1; k <= K+1; k++ {
+		counts[k] += counts[k-1]
+	}
+	for i := 0; i < n; i++ {
+		key := r[int(a[i])+shift]
+		b[counts[key]] = a[i]
+		counts[key]++
+	}
+}
+
+// skew computes the suffix array of t[0:n] (values in [1, K], t padded
+// with at least 3 zeros) into sa.
+func skew(t, sa []int32, n, K int) {
+	n0 := (n + 2) / 3
+	n1 := (n + 1) / 3
+	n2 := n / 3
+	n02 := n0 + n2
+	s12 := make([]int32, n02+3)
+	sa12 := make([]int32, n02+3)
+	// Positions i mod 3 != 0. The n0-n1 padding suffix enters when
+	// n mod 3 == 1 (the classic trick keeping the recursion balanced).
+	j := 0
+	for i := 0; i < n+(n0-n1); i++ {
+		if i%3 != 0 {
+			s12[j] = int32(i)
+			j++
+		}
+	}
+	// Radix sort the mod-1/2 suffixes by their triples.
+	radixPass(s12, sa12, t, 2, n02, K)
+	radixPass(sa12, s12, t, 1, n02, K)
+	radixPass(s12, sa12, t, 0, n02, K)
+	// Name the triples.
+	name := 0
+	c0, c1, c2 := int32(-1), int32(-1), int32(-1)
+	for i := 0; i < n02; i++ {
+		p := sa12[i]
+		if t[p] != c0 || t[p+1] != c1 || t[p+2] != c2 {
+			name++
+			c0, c1, c2 = t[p], t[p+1], t[p+2]
+		}
+		if p%3 == 1 {
+			s12[p/3] = int32(name) // left half
+		} else {
+			s12[p/3+int32(n0)] = int32(name) // right half
+		}
+	}
+	if name < n02 {
+		// Names not unique: recurse on the name string.
+		skew(s12, sa12, n02, name)
+		// Store unique names in s12 using the recursive suffix array.
+		for i := 0; i < n02; i++ {
+			s12[sa12[i]] = int32(i) + 1
+		}
+	} else {
+		// Names unique: suffix array of s12 directly from names.
+		for i := 0; i < n02; i++ {
+			sa12[s12[i]-1] = int32(i)
+		}
+	}
+	// Sort the mod-0 suffixes by (t[i], rank of suffix i+1).
+	s0 := make([]int32, n0)
+	sa0 := make([]int32, n0)
+	j = 0
+	for i := 0; i < n02; i++ {
+		if sa12[i] < int32(n0) {
+			s0[j] = 3 * sa12[i]
+			j++
+		}
+	}
+	radixPass(s0, sa0, t, 0, n0, K)
+	// Merge sa0 and sa12.
+	getI := func(k int) int32 {
+		if sa12[k] < int32(n0) {
+			return sa12[k]*3 + 1
+		}
+		return (sa12[k]-int32(n0))*3 + 2
+	}
+	rank12 := func(pos int32) int32 {
+		// rank of suffix pos (pos mod 3 != 0) within the 1/2 ordering.
+		if pos%3 == 1 {
+			return s12[pos/3]
+		}
+		return s12[pos/3+int32(n0)]
+	}
+	leq2 := func(a1, a2, b1, b2 int32) bool {
+		return a1 < b1 || (a1 == b1 && a2 <= b2)
+	}
+	leq3 := func(a1, a2, a3, b1, b2, b3 int32) bool {
+		return a1 < b1 || (a1 == b1 && leq2(a2, a3, b2, b3))
+	}
+	// Merge: tt walks the mod-1/2 ordering (skipping the padding suffix
+	// present when n mod 3 == 1), p walks the mod-0 ordering.
+	tt := n0 - n1
+	p := 0
+	for out := 0; out < n; out++ {
+		switch {
+		case tt == n02:
+			sa[out] = sa0[p]
+			p++
+		case p == n0:
+			sa[out] = getI(tt)
+			tt++
+		default:
+			i := getI(tt) // current mod-1/2 suffix
+			q := sa0[p]   // current mod-0 suffix
+			var smaller bool
+			if i%3 == 1 {
+				smaller = leq2(t[i], rank12(i+1), t[q], rank12(q+1))
+			} else {
+				smaller = leq3(t[i], t[i+1], rank12(i+2), t[q], t[q+1], rank12(q+2))
+			}
+			if smaller {
+				sa[out] = i
+				tt++
+			} else {
+				sa[out] = q
+				p++
+			}
+		}
+	}
+}

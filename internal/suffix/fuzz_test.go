@@ -1,0 +1,54 @@
+package suffix
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets. Under plain `go test` the seed corpus runs as
+// regression tests; `go test -fuzz=FuzzX` explores further.
+
+func FuzzArrayAgainstNaive(f *testing.F) {
+	f.Add([]byte("banana"))
+	f.Add([]byte("mississippi"))
+	f.Add([]byte{1, 1, 1, 2, 1, 1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 400 {
+			raw = raw[:400]
+		}
+		got := Array(nil, raw)
+		dc3 := ArrayDC3(raw)
+		want := NaiveArray(raw)
+		if len(got) != len(want) || len(dc3) != len(want) {
+			t.Fatalf("length mismatch: %d/%d vs %d", len(got), len(dc3), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("doubling sa[%d] = %d, want %d", i, got[i], want[i])
+			}
+			if dc3[i] != want[i] {
+				t.Fatalf("dc3 sa[%d] = %d, want %d", i, dc3[i], want[i])
+			}
+		}
+	})
+}
+
+func FuzzBWTRoundTrip(f *testing.F) {
+	f.Add([]byte("abracadabra"))
+	f.Add([]byte("aa"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 400 {
+			raw = raw[:400]
+		}
+		// Bytes must be nonzero (sentinel contract).
+		s := make([]byte, len(raw))
+		for i, b := range raw {
+			s[i] = b%255 + 1
+		}
+		bwt := BWTEncode(nil, s)
+		if got := BWTDecode(nil, bwt); !bytes.Equal(got, s) {
+			t.Fatalf("round trip: %q -> %q", s, got)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package unionfind
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestBasicUnionFind(t *testing.T) {
+	u := New(5)
+	if u.Len() != 5 || u.Components() != 5 {
+		t.Fatalf("fresh UF: len=%d comps=%d", u.Len(), u.Components())
+	}
+	if !u.Union(0, 1) {
+		t.Fatal("first union should merge")
+	}
+	if u.Union(1, 0) {
+		t.Fatal("repeat union should not merge")
+	}
+	if !u.SameSet(0, 1) || u.SameSet(0, 2) {
+		t.Fatal("membership wrong")
+	}
+	u.Union(2, 3)
+	u.Union(0, 3)
+	if u.Components() != 2 {
+		t.Fatalf("components = %d, want 2", u.Components())
+	}
+}
+
+func TestFindRootIsSelfParent(t *testing.T) {
+	u := New(10)
+	u.Union(4, 7)
+	r := u.Find(4)
+	if u.Find(7) != r {
+		t.Fatal("roots differ after union")
+	}
+	if u.parent[r].Load() != r {
+		t.Fatal("root is not self-parented")
+	}
+}
+
+func TestUnionFindMatchesOracleProperty(t *testing.T) {
+	// Oracle: naive labeling with full relabeling per union.
+	f := func(pairs []uint16, nRaw uint8) bool {
+		n := int32(nRaw%60) + 2
+		u := New(n)
+		labels := make([]int32, n)
+		for i := range labels {
+			labels[i] = int32(i)
+		}
+		for _, p := range pairs {
+			a := int32(p) % n
+			b := int32(p>>8) % n
+			u.Union(a, b)
+			la, lb := labels[a], labels[b]
+			if la != lb {
+				for i := range labels {
+					if labels[i] == lb {
+						labels[i] = la
+					}
+				}
+			}
+		}
+		for i := int32(0); i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if u.SameSet(i, j) != (labels[i] == labels[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentUnionsChain(t *testing.T) {
+	// Union i with i+1 for all i in parallel: one component must remain.
+	const n = 50000
+	u := New(n)
+	p := core.NewPool(4)
+	defer p.Close()
+	p.Do(func(w *core.Worker) {
+		core.ForRange(w, 0, n-1, 0, func(i int) {
+			u.Union(int32(i), int32(i+1))
+		})
+	})
+	if c := u.Components(); c != 1 {
+		t.Fatalf("components = %d, want 1", c)
+	}
+}
+
+func TestConcurrentUnionsCountMerges(t *testing.T) {
+	// Exactly n-1 unions can succeed when building a tree over n nodes,
+	// no matter the interleaving.
+	const n = 20000
+	u := New(n)
+	p := core.NewPool(4)
+	defer p.Close()
+	var merges int64
+	p.Do(func(w *core.Worker) {
+		merges = core.MapReduce(w, n-1, int64(0), func(i int) int64 {
+			if u.Union(int32(i), int32(i+1)) {
+				return 1
+			}
+			return 0
+		}, func(a, b int64) int64 { return a + b })
+	})
+	if merges != n-1 {
+		t.Fatalf("merges = %d, want %d", merges, n-1)
+	}
+}
