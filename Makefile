@@ -2,13 +2,19 @@
 
 GO ?= go
 
-.PHONY: build test race bench report figures inputs clean
+.PHONY: build test lint race bench report figures inputs clean
 
 build:
 	$(GO) build ./...
 
-test:
+test: lint
 	$(GO) test ./...
+
+# Source-level fear checker: static census + containment + race
+# heuristics (docs/LINT.md). Shared by CI.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/rpblint ./...
 
 race:
 	$(GO) test -race ./...

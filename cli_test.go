@@ -5,6 +5,7 @@ package repro
 // and running binaries dominates unit-test time.
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -114,5 +115,52 @@ func TestCLIRpbreportArtifacts(t *testing.T) {
 	out = run(t, bin, "-what", "fig5a", "-scale", "test", "-threads", "2", "-reps", "1")
 	if !strings.Contains(out, "checked") {
 		t.Errorf("fig5a output wrong: %s", out)
+	}
+}
+
+func TestCLIRpblint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI test skipped in -short mode")
+	}
+	bin := buildTool(t, "rpblint")
+
+	// The repo itself is clean: exit 0.
+	out := run(t, bin, "./...")
+	if !strings.Contains(out, "clean") {
+		t.Errorf("repo lint output wrong: %s", out)
+	}
+
+	// The -json census agrees with the runtime registry's shape.
+	jsonOut := run(t, bin, "-json", "./...")
+	var rep struct {
+		Census struct {
+			Total     int                 `json:"total"`
+			Irregular int                 `json:"irregular"`
+			PerBench  map[string][]string `json:"perBench"`
+		} `json:"census"`
+		Diags []any `json:"diagnostics"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut), &rep); err != nil {
+		t.Fatalf("bad -json output: %v\n%s", err, jsonOut)
+	}
+	if len(rep.Census.PerBench) != 14 {
+		t.Errorf("census covers %d benches, want 14", len(rep.Census.PerBench))
+	}
+	if rep.Census.Total == 0 || rep.Census.Irregular == 0 || len(rep.Diags) != 0 {
+		t.Errorf("census total=%d irregular=%d diags=%d", rep.Census.Total, rep.Census.Irregular, len(rep.Diags))
+	}
+
+	// A seeded violation exits non-zero with a file:line diagnostic.
+	cmd := exec.Command(bin, "-root", "internal/lint/testdata/src/bad")
+	bad, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("lint of bad fixture should fail:\n%s", bad)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("bad fixture: want exit code 1, got %v", err)
+	}
+	if !strings.Contains(string(bad), "internal/bench/undeclared.go:16") ||
+		!strings.Contains(string(bad), "undeclared-scared") {
+		t.Errorf("bad-fixture diagnostics missing file:line: %s", bad)
 	}
 }

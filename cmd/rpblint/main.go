@@ -1,0 +1,107 @@
+// Command rpblint is the suite's source-level fear checker: it
+// re-derives the pattern census from source, cross-checks it against
+// the DeclareSite registry, audits scared-construct containment, and
+// runs race heuristics over parallel bodies. See docs/LINT.md.
+//
+// Usage:
+//
+//	rpblint [-root dir] [-json] [-census] [packages...]
+//
+// Packages are directory patterns relative to the module root
+// ("./...", "./internal/bench", "examples/..."); with none given the
+// whole module is checked. Exit status: 0 clean, 1 diagnostics found,
+// 2 analysis error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		root    = flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
+		asJSON  = flag.Bool("json", false, "emit the full report (census, packages, diagnostics) as JSON")
+		census  = flag.Bool("census", false, "print the static pattern census")
+		verbose = flag.Bool("v", false, "print the per-package scared-construct table")
+	)
+	flag.Parse()
+
+	r := *root
+	if r == "" {
+		var err error
+		r, err = findRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rpblint:", err)
+			os.Exit(2)
+		}
+	}
+
+	rep, err := lint.Run(lint.Config{Root: r, Dirs: flag.Args()})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpblint:", err)
+		os.Exit(2)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "rpblint:", err)
+			os.Exit(2)
+		}
+	} else {
+		if *census {
+			fmt.Print(rep.Census.String())
+		}
+		if *verbose {
+			fmt.Printf("%-22s %-10s %5s %9s %7s %5s %4s %7s %7s\n",
+				"package", "role", "files", "unchecked", "atomics", "sync", "go", "helpers", "engines")
+			for _, p := range rep.Packages {
+				fmt.Printf("%-22s %-10s %5d %9d %7d %5d %4d %7d %7d\n",
+					p.Path, p.Role, p.Files, p.Unchecked, p.Atomics, p.SyncDecls, p.GoStmts, p.AWHelpers, p.Engines)
+			}
+		}
+		for _, d := range rep.Diags {
+			fmt.Println(d)
+		}
+		if len(rep.Diags) == 0 && !*census && !*verbose {
+			fmt.Printf("rpblint: clean — %d census sites (%d irregular), %d packages\n",
+				rep.Census.Total, rep.Census.Irregular, len(rep.Packages))
+		}
+	}
+	if len(rep.Diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// findRoot walks up from the working directory to the nearest go.mod.
+func findRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(dir + "/go.mod"); err == nil {
+			return dir, nil
+		}
+		parent := dir[:max(0, lastSlash(dir))]
+		if parent == "" || parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' || s[i] == '\\' {
+			return i
+		}
+	}
+	return -1
+}

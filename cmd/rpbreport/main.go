@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		what    = flag.String("what", "all", "artifact: table1, table2, table3, fig3, fig4, fig5a, fig5b, fig6, dyncensus, sched, coverage, all")
+		what    = flag.String("what", "all", "artifact: table1, table2, table3, fig3, fig4, fig5a, fig5b, fig6, dyncensus, fearreport, sched, coverage, all")
 		scale   = flag.String("scale", "small", "input scale: test, small, or default")
 		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "parallel thread count (the paper's 24-core point)")
 		reps    = flag.Int("reps", 3, "repetitions per measurement")
@@ -80,6 +80,7 @@ func main() {
 	run("dyncensus", func() error {
 		return report.DynCensus(out, sc, *threads)
 	})
+	run("fearreport", func() error { return report.FearReport(out, "") })
 	run("sched", func() error {
 		return report.SchedReport(out, sc, "sort", []int{1, 2, 4, 8})
 	})

@@ -100,7 +100,7 @@ type Spec struct {
 }
 
 var (
-	regMu    sync.Mutex
+	regMu    sync.Mutex //lint:scared guards the init-time benchmark registry, not kernel data
 	registry []Spec
 )
 

@@ -154,7 +154,7 @@ func TestTable1PatternRows(t *testing.T) {
 		"sf":    {core.RO, core.Stride, core.Block, core.DC, core.AW},
 		"msf":   {core.RO, core.Stride, core.Block, core.DC, core.SngInd, core.AW},
 		"sort":  {core.RO, core.Stride, core.Block, core.DC, core.RngInd},
-		"dedup": {core.RO, core.Stride, core.AW},
+		"dedup": {core.RO, core.Stride, core.Block, core.AW},
 		"hist":  {core.RO, core.Stride, core.Block, core.SngInd},
 		"isort": {core.RO, core.Stride, core.Block, core.SngInd},
 		"bfs":   {core.AW},

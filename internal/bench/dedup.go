@@ -102,6 +102,7 @@ func init() {
 	core.DeclareSite("dedup", "insert: keys read", core.RO)
 	core.DeclareSite("dedup", "insert: table slot CAS", core.AW)
 	core.DeclareSite("dedup", "extract: slots read", core.RO)
+	core.DeclareSite("dedup", "extract: live-slot pack write", core.Block)
 	core.DeclareSite("dedup", "extract: out write", core.Stride)
 
 	Register(Spec{

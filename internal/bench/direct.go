@@ -10,6 +10,8 @@ import "sync"
 
 // directFor runs body over [0, n) split evenly across nThreads
 // goroutines.
+//
+//lint:scared deliberate raw-goroutine baseline (paper Listing 14); disjoint static chunks, joined before return
 func directFor(nThreads, n int, body func(lo, hi int)) {
 	if nThreads <= 1 || n <= 1 {
 		body(0, n)
@@ -40,6 +42,8 @@ func directFor(nThreads, n int, body func(lo, hi int)) {
 
 // directReduce folds [0, n) with per-thread partials merged on the
 // caller's goroutine.
+//
+//lint:scared deliberate raw-goroutine baseline; each goroutine writes only its own partial[t]
 func directReduce(nThreads, n int, identity int64, mapf func(i int) int64, comb func(a, b int64) int64) int64 {
 	if nThreads <= 1 || n <= 1 {
 		acc := identity

@@ -142,10 +142,21 @@ type Site struct {
 	Pattern Pattern
 }
 
+// SiteConflict records a re-declaration of an existing (bench, label)
+// site under a different pattern — two pieces of code disagreeing about
+// what a shared access does, which would silently corrupt the census.
+type SiteConflict struct {
+	Bench      string
+	Label      string
+	First      Pattern // pattern of the declaration that won
+	Redeclared Pattern // conflicting later pattern, ignored
+}
+
 var (
-	siteMu    sync.Mutex
-	siteSet   = map[string]Site{}
-	siteOrder []string
+	siteMu        sync.Mutex
+	siteSet       = map[string]Site{}
+	siteOrder     []string
+	siteConflicts []SiteConflict
 )
 
 // DeclareSite registers a static parallel access site. Benchmarks declare
@@ -153,15 +164,38 @@ var (
 // the code performing the access; the registry deduplicates by
 // (bench, label) so declarations are idempotent across runs. The
 // resulting census regenerates Table 1 and Fig 3.
-func DeclareSite(bench, label string, p Pattern) {
+//
+// Re-declaring an existing (bench, label) with the same pattern is a
+// no-op. Re-declaring it with a different pattern keeps the first
+// declaration, records a SiteConflict, and returns an error; most
+// callers declare at init time and ignore the return, so conflicts are
+// also surfaced through SiteConflicts (and the rpblint fear report).
+func DeclareSite(bench, label string, p Pattern) error {
 	key := bench + "\x00" + label
 	siteMu.Lock()
 	defer siteMu.Unlock()
-	if _, ok := siteSet[key]; ok {
-		return
+	if prev, ok := siteSet[key]; ok {
+		if prev.Pattern != p {
+			siteConflicts = append(siteConflicts, SiteConflict{
+				Bench: bench, Label: label,
+				First: prev.Pattern, Redeclared: p,
+			})
+			return fmt.Errorf("core: site (%s, %q) re-declared as %s; first declared %s wins",
+				bench, label, p, prev.Pattern)
+		}
+		return nil
 	}
 	siteSet[key] = Site{Bench: bench, Label: label, Pattern: p}
 	siteOrder = append(siteOrder, key)
+	return nil
+}
+
+// SiteConflicts returns every conflicting re-declaration seen so far,
+// in occurrence order.
+func SiteConflicts() []SiteConflict {
+	siteMu.Lock()
+	defer siteMu.Unlock()
+	return append([]SiteConflict(nil), siteConflicts...)
 }
 
 // Sites returns all declared sites in declaration order.
@@ -175,12 +209,13 @@ func Sites() []Site {
 	return out
 }
 
-// ResetSites clears the site registry (used by tests).
+// ResetSites clears the site registry and conflict log (used by tests).
 func ResetSites() {
 	siteMu.Lock()
 	defer siteMu.Unlock()
 	siteSet = map[string]Site{}
 	siteOrder = nil
+	siteConflicts = nil
 }
 
 // Census summarizes the declared sites: per-pattern site counts and the

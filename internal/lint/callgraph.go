@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"path"
+	"sort"
+	"strings"
+)
+
+// funcInfo is one function or method in the module, with the constructs
+// its body uses directly and the calls it makes.
+type funcInfo struct {
+	pkg    *pkgInfo
+	file   *fileInfo
+	decl   *ast.FuncDecl
+	mask   construct
+	counts map[construct]int // construct bit -> number of sites
+	calls  []callRef
+}
+
+func (fi *funcInfo) use(bits construct) {
+	fi.mask |= bits
+	if bits == 0 {
+		return
+	}
+	if fi.counts == nil {
+		fi.counts = map[construct]int{}
+	}
+	for b := construct(1); b != 0 && b <= bits; b <<= 1 {
+		if bits&b != 0 {
+			fi.counts[b]++
+		}
+	}
+}
+
+// callRef is an unresolved call edge. For pkg-qualified calls, pkgs
+// holds the single resolved package; for bare and method calls it holds
+// the candidate packages (own package, plus every imported in-module
+// package for method calls), and resolution is by name.
+type callRef struct {
+	name string
+	pkgs []string
+}
+
+// analysis carries all per-run state.
+type analysis struct {
+	fset   *token.FileSet
+	mod    string
+	pkgs   map[string]*pkgInfo
+	filter *dirFilter
+
+	funcs map[string][]*funcInfo // pkgPath -> functions (by any name)
+
+	census      StaticCensus
+	censusDiags []Diag
+	diags       []Diag
+}
+
+// report appends a diagnostic, honoring the directory filter.
+func (a *analysis) report(d Diag) {
+	dir := path.Dir(d.File)
+	if dir == "." {
+		dir = ""
+	}
+	if a.filter.match(dir) {
+		a.diags = append(a.diags, d)
+	}
+}
+
+// modRel converts an import path to a module-relative package path, or
+// ok=false for out-of-module imports.
+func (a *analysis) modRel(importPath string) (string, bool) {
+	if importPath == a.mod {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(importPath, a.mod+"/"); ok {
+		return rest, true
+	}
+	return "", false
+}
+
+// sortedPkgs returns packages in deterministic path order.
+func (a *analysis) sortedPkgs() []*pkgInfo {
+	out := make([]*pkgInfo, 0, len(a.pkgs))
+	for _, p := range a.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].path < out[j].path })
+	return out
+}
+
+// buildIndex walks every function body once, recording its construct
+// mask and outgoing calls.
+func (a *analysis) buildIndex() {
+	a.funcs = map[string][]*funcInfo{}
+	for _, pkg := range a.sortedPkgs() {
+		for _, f := range pkg.files {
+			for _, decl := range f.ast.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fi := &funcInfo{pkg: pkg, file: f, decl: fd}
+				a.scanFuncBody(fi)
+				a.funcs[pkg.path] = append(a.funcs[pkg.path], fi)
+			}
+		}
+	}
+}
+
+// scanFuncBody fills fi.mask and fi.calls from the function body
+// (including nested closures).
+func (a *analysis) scanFuncBody(fi *funcInfo) {
+	f := fi.file
+	// Candidate packages for method-call resolution: own package plus
+	// every imported in-module package.
+	var methodPkgs []string
+	methodPkgs = append(methodPkgs, fi.pkg.path)
+	for _, imp := range f.imports {
+		if rel, ok := a.modRel(imp); ok {
+			methodPkgs = append(methodPkgs, rel)
+		}
+	}
+	sort.Strings(methodPkgs)
+
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			fi.use(cGoStmt)
+		case *ast.ValueSpec:
+			if v.Type != nil {
+				fi.use(declConstruct(f, v.Type))
+			}
+		case *ast.CallExpr:
+			if _, mask, ok := classifyCall(f, v); ok {
+				fi.use(mask)
+				return true
+			}
+			switch fun := v.Fun.(type) {
+			case *ast.Ident:
+				fi.calls = append(fi.calls, callRef{name: fun.Name, pkgs: []string{fi.pkg.path}})
+			case *ast.SelectorExpr:
+				if id, ok := fun.X.(*ast.Ident); ok {
+					if imp, isImport := f.imports[id.Name]; isImport {
+						if rel, inModule := a.modRel(imp); inModule {
+							fi.calls = append(fi.calls, callRef{name: fun.Sel.Name, pkgs: []string{rel}})
+						}
+						return true
+					}
+				}
+				// Method call on a value: resolve by name across the
+				// own package and imported in-module packages.
+				fi.calls = append(fi.calls, callRef{name: fun.Sel.Name, pkgs: methodPkgs})
+			}
+		}
+		return true
+	})
+}
+
+// reachableMask unions the construct masks of every function reachable
+// from the given seed functions, traversing in-module edges but never
+// entering substrate packages (the substrate's internals are its own
+// encapsulation; the caller's classified calls already recorded the
+// primitives it reached for).
+func (a *analysis) reachableMask(seeds []*funcInfo) construct {
+	var mask construct
+	visited := map[*funcInfo]bool{}
+	queue := append([]*funcInfo(nil), seeds...)
+	for len(queue) > 0 {
+		fi := queue[0]
+		queue = queue[1:]
+		if visited[fi] {
+			continue
+		}
+		visited[fi] = true
+		mask |= fi.mask
+		for _, ref := range fi.calls {
+			for _, pkgPath := range ref.pkgs {
+				pkg, ok := a.pkgs[pkgPath]
+				if !ok || pkg.role == RoleSubstrate {
+					continue
+				}
+				for _, target := range a.funcs[pkgPath] {
+					if target.decl.Name.Name == ref.name && !visited[target] {
+						queue = append(queue, target)
+					}
+				}
+			}
+		}
+	}
+	return mask
+}
+
+// fileFuncs returns the functions declared in one file.
+func (a *analysis) fileFuncs(f *fileInfo) []*funcInfo {
+	var out []*funcInfo
+	for _, fi := range a.funcs[f.pkg.path] {
+		if fi.file == f {
+			out = append(out, fi)
+		}
+	}
+	return out
+}
+
+// packageStats renders the per-package scared-construct census.
+func (a *analysis) packageStats() []PackageStats {
+	var out []PackageStats
+	for _, pkg := range a.sortedPkgs() {
+		ps := PackageStats{Path: pkg.path, Role: pkg.role, Files: len(pkg.files)}
+		if ps.Path == "" {
+			ps.Path = "."
+		}
+		for _, fi := range a.funcs[pkg.path] {
+			ps.Unchecked += fi.counts[cUncheckedSng] + fi.counts[cUncheckedRng]
+			ps.Atomics += fi.counts[cAtomic]
+			ps.SyncDecls += fi.counts[cSyncDecl]
+			ps.GoStmts += fi.counts[cGoStmt]
+			ps.AWHelpers += fi.counts[cAWHelper] + fi.counts[cLocks]
+			ps.Engines += fi.counts[cTaskEngine]
+		}
+		out = append(out, ps)
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"reflect"
+	"testing"
+
+	// Importing bench for effect populates the runtime DeclareSite
+	// registry the static census is checked against.
+	_ "repro/internal/bench"
+	"repro/internal/core"
+)
+
+// TestRepoClean asserts the linter runs clean over this repository:
+// the compliance the PR establishes is enforced from here on.
+func TestRepoClean(t *testing.T) {
+	rep, err := Run(Config{Root: "../.."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range rep.Diags {
+		t.Errorf("repo diagnostic: %s", d)
+	}
+}
+
+// TestStaticCensusMatchesRuntime diffs the source-derived census
+// against core.TakeCensus for every benchmark: same benches, same
+// per-bench pattern sets, same per-kind site counts.
+func TestStaticCensusMatchesRuntime(t *testing.T) {
+	rep, err := Run(Config{Root: "../.."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := rep.Census.ToCoreCensus()
+	runtime := core.TakeCensus()
+
+	if len(runtime.Benches) != 14 {
+		t.Fatalf("runtime census has %d benches, want 14: %v", len(runtime.Benches), runtime.Benches)
+	}
+	if !reflect.DeepEqual(static.Benches, runtime.Benches) {
+		t.Fatalf("bench sets differ: static %v, runtime %v", static.Benches, runtime.Benches)
+	}
+	for _, b := range runtime.Benches {
+		if !reflect.DeepEqual(static.PerBench[b], runtime.PerBench[b]) {
+			t.Errorf("%s pattern set: static %v, runtime %v", b, static.PerBench[b], runtime.PerBench[b])
+		}
+	}
+	if !reflect.DeepEqual(static.PerKind, runtime.PerKind) {
+		t.Errorf("per-kind counts: static %v, runtime %v", static.PerKind, runtime.PerKind)
+	}
+	if static.Total != runtime.Total || static.Irregular != runtime.Irregular {
+		t.Errorf("totals: static %d/%d irregular, runtime %d/%d irregular",
+			static.Total, static.Irregular, runtime.Total, runtime.Irregular)
+	}
+	if len(core.SiteConflicts()) != 0 {
+		t.Errorf("conflicting re-declarations in repo: %v", core.SiteConflicts())
+	}
+}

@@ -1,0 +1,512 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"repro/internal/core"
+)
+
+// checkFiles runs the role-scoped rules over every parsed file:
+//
+//	bench    census cross-checks + containment + race heuristics
+//	example  unchecked-in-example + race heuristics
+//	kernel   race heuristics (constructs feed bench evidence)
+//	substrate censused only, never linted
+func (a *analysis) checkFiles() {
+	for _, pkg := range a.sortedPkgs() {
+		if pkg.role == RoleSubstrate {
+			continue
+		}
+		for _, f := range pkg.files {
+			a.checkMarkers(f)
+			switch pkg.role {
+			case RoleBench:
+				a.checkBenchFile(f)
+			case RoleExample:
+				a.checkExampleFile(f)
+			}
+			a.checkRaces(f)
+		}
+	}
+}
+
+// checkMarkers flags //lint:scared markers with no reason: an audited
+// escape hatch with no audit trail is worse than none.
+func (a *analysis) checkMarkers(f *fileInfo) {
+	for line, reason := range f.markers {
+		if reason == "" {
+			a.report(Diag{
+				File: f.rel, Line: line, Col: 1,
+				Rule: "bad-marker",
+				Msg:  "//lint:scared marker without a reason; write //lint:scared <why this is safe>",
+			})
+		}
+	}
+}
+
+// markerFor reports whether a node is covered by a //lint:scared
+// marker: on the same line, on the line above, or anywhere in the doc
+// comment of the enclosing top-level function.
+func (a *analysis) markerFor(f *fileInfo, n ast.Node) bool {
+	line := a.fset.Position(n.Pos()).Line
+	if r, ok := f.markers[line]; ok && r != "" {
+		return true
+	}
+	if r, ok := f.markers[line-1]; ok && r != "" {
+		return true
+	}
+	for _, decl := range f.ast.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Doc == nil || n.Pos() < fd.Pos() || n.Pos() > fd.End() {
+			continue
+		}
+		lo := a.fset.Position(fd.Doc.Pos()).Line
+		hi := a.fset.Position(fd.Doc.End()).Line
+		for l := lo; l <= hi; l++ {
+			if r, ok := f.markers[l]; ok && r != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkBenchFile cross-checks one bench file against the static census:
+// undeclared patterns, scared-construct containment, stale irregular
+// declarations.
+func (a *analysis) checkBenchFile(f *fileInfo) {
+	benches, declared := a.census.benchesDeclaredIn(f.rel)
+	bench := ""
+	if len(benches) == 1 {
+		bench = benches[0]
+	}
+	anyIrregular := false
+	for p := range declared {
+		if p.Irregular() {
+			anyIrregular = true
+		}
+	}
+
+	// A scared construct is contained when the file declares some
+	// irregular site (the declaration is the audit record) or the
+	// construct carries an explicit marker.
+	contained := func(n ast.Node) bool {
+		return anyIrregular || a.markerFor(f, n)
+	}
+	scared := func(n ast.Node, what string, pattern core.Pattern) {
+		if contained(n) {
+			return
+		}
+		pos := a.fset.Position(n.Pos())
+		pat := ""
+		if pattern != 0 {
+			pat = pattern.String()
+		}
+		a.report(Diag{
+			File: f.rel, Line: pos.Line, Col: pos.Column,
+			Rule: "undeclared-scared", Bench: bench,
+			Pattern: pat, Fear: core.Scared.String(),
+			Msg: fmt.Sprintf("%s without an irregular DeclareSite(SngInd|RngInd|AW) in this file or a //lint:scared marker", what),
+		})
+	}
+
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.GoStmt:
+			scared(v, "raw go statement", 0)
+		case *ast.ValueSpec:
+			if v.Type != nil && declConstruct(f, v.Type)&cScared != 0 {
+				scared(v, fmt.Sprintf("raw %s declaration", typeName(v.Type)), core.AW)
+			}
+		case *ast.StructType:
+			for _, field := range v.Fields.List {
+				if declConstruct(f, field.Type)&cScared != 0 {
+					scared(field, fmt.Sprintf("raw %s field", typeName(field.Type)), core.AW)
+				}
+			}
+		case *ast.CallExpr:
+			cc, mask, ok := classifyCall(f, v)
+			if !ok {
+				return true
+			}
+			switch {
+			case mask&cScared != 0:
+				what := "sync/atomic use"
+				if cc.name != "" {
+					what = "core." + cc.name + " call"
+				}
+				scared(v, what, cc.pattern)
+			case cc.pattern != 0 && !declared[cc.pattern]:
+				pos := a.fset.Position(v.Pos())
+				a.report(Diag{
+					File: f.rel, Line: pos.Line, Col: pos.Column,
+					Rule: "undeclared-pattern", Bench: bench,
+					Pattern: cc.pattern.String(), Fear: cc.fear.String(),
+					Msg: fmt.Sprintf("core.%s is a %s-pattern site but this file declares no %s DeclareSite",
+						cc.name, cc.pattern, cc.pattern),
+				})
+			}
+		}
+		return true
+	})
+
+	a.checkStale(f, declared)
+}
+
+// typeName renders a type expression for a diagnostic.
+func typeName(t ast.Expr) string {
+	switch v := t.(type) {
+	case *ast.StarExpr:
+		return "*" + typeName(v.X)
+	case *ast.SelectorExpr:
+		if id, ok := v.X.(*ast.Ident); ok {
+			return id.Name + "." + v.Sel.Name
+		}
+	case *ast.Ident:
+		return v.Name
+	}
+	return "sync"
+}
+
+// staleEvidence maps each irregular pattern to the construct classes
+// that justify declaring it. Regular patterns (RO/Stride/Block/D&C) are
+// not checked for staleness: their absence is not statically decidable
+// (a Stride declaration may describe a loop the census classifies under
+// a different primitive).
+var staleEvidence = map[core.Pattern]construct{
+	core.SngInd: cSngInd | cUncheckedSng | cAnySync,
+	core.RngInd: cRngInd | cUncheckedRng | cAnySync,
+	core.AW:     cUncheckedSng | cUncheckedRng | cAnySync,
+}
+
+// checkStale flags irregular declarations with no supporting construct
+// reachable from the declaring file's functions — a census entry that
+// claims scary behavior the code no longer has.
+func (a *analysis) checkStale(f *fileInfo, declared map[core.Pattern]bool) {
+	var evidence construct
+	computed := false
+	for _, site := range a.census.Sites {
+		if site.File != f.rel || !site.pattern.Irregular() {
+			continue
+		}
+		if !computed {
+			evidence = a.reachableMask(a.fileFuncs(f))
+			computed = true
+		}
+		if evidence&staleEvidence[site.pattern] == 0 {
+			a.report(Diag{
+				File: f.rel, Line: site.Line, Col: 1,
+				Rule: "stale-declaration", Bench: site.Bench,
+				Pattern: site.Pattern,
+				Msg: fmt.Sprintf("site %q declares %s but no %s-class construct is reachable from this file's kernels",
+					site.Label, site.Pattern, site.Pattern),
+			})
+		}
+	}
+}
+
+// checkExampleFile forbids unchecked primitives in examples: end-user
+// documentation must stay on the Fearless/Comfortable surface.
+func (a *analysis) checkExampleFile(f *fileInfo) {
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		cc, mask, ok := classifyCall(f, call)
+		if !ok || mask&(cUncheckedSng|cUncheckedRng) == 0 {
+			return true
+		}
+		pos := a.fset.Position(call.Pos())
+		a.report(Diag{
+			File: f.rel, Line: pos.Line, Col: pos.Column,
+			Rule:    "unchecked-in-example",
+			Pattern: cc.pattern.String(), Fear: core.Scared.String(),
+			Msg: fmt.Sprintf("core.%s is forbidden in examples; use core.%s (Comfortable) instead",
+				cc.name, checkedVariant(cc.name)),
+		})
+		return true
+	})
+}
+
+// checkedVariant names the checked primitive an unchecked call should
+// use instead.
+func checkedVariant(name string) string {
+	switch name {
+	case "IndForEachUnchecked", "ScatterAtomic32":
+		return "IndForEach"
+	case "IndChunksUnchecked":
+		return "IndChunks"
+	}
+	return name
+}
+
+// checkRaces runs the race heuristics over one file: writes inside
+// Fearless/Comfortable primitive bodies that cannot be tied to the task
+// index, and Worker values escaping into raw goroutines.
+func (a *analysis) checkRaces(f *fileInfo) {
+	ast.Inspect(f.ast, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := callTarget(f, call)
+		if !ok || !isPath(path, corePath) {
+			return true
+		}
+		argIdxs, hasBody := parallelBodyArg[name]
+		if !hasBody || (len(call.Args) > 0 && isNilIdent(call.Args[0])) {
+			return true
+		}
+		for _, idx := range argIdxs {
+			if idx >= len(call.Args) {
+				continue
+			}
+			if lit, ok := call.Args[idx].(*ast.FuncLit); ok {
+				a.checkParallelBody(f, name, lit)
+			}
+		}
+		return true
+	})
+
+	for _, decl := range f.ast.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		a.checkWorkerEscape(f, fd)
+	}
+}
+
+// checkParallelBody inspects one closure passed as a primitive's
+// per-task body. Writes to captured state are suspect unless the target
+// index depends on a closure-local value (the task index or something
+// derived from it).
+func (a *analysis) checkParallelBody(f *fileInfo, prim string, lit *ast.FuncLit) {
+	locals := closureLocals(lit)
+	check := func(lhs ast.Expr) {
+		switch t := lhs.(type) {
+		case *ast.Ident:
+			if t.Name == "_" || locals[t.Name] {
+				return
+			}
+			if a.markerFor(f, t) {
+				return
+			}
+			pos := a.fset.Position(t.Pos())
+			a.report(Diag{
+				File: f.rel, Line: pos.Line, Col: pos.Column,
+				Rule: "captured-scalar-write", Fear: core.Scared.String(),
+				Msg: fmt.Sprintf("write to captured variable %q inside a core.%s body races across tasks; use a reduction or an atomic",
+					t.Name, prim),
+			})
+		case *ast.IndexExpr:
+			root := rootIdent(t.X)
+			if root == nil || locals[root.Name] {
+				return
+			}
+			if usesLocal(t.Index, locals) {
+				return
+			}
+			if a.markerFor(f, t) {
+				return
+			}
+			pos := a.fset.Position(t.Pos())
+			a.report(Diag{
+				File: f.rel, Line: pos.Line, Col: pos.Column,
+				Rule: "captured-write-nonindex", Fear: core.Scared.String(),
+				Msg: fmt.Sprintf("write to captured slice %q at an index unrelated to the task index inside a core.%s body; tasks may collide",
+					root.Name, prim),
+			})
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range v.Lhs {
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(v.X)
+		}
+		return true
+	})
+}
+
+// closureLocals collects every identifier a closure (or its nested
+// closures) declares: parameters, :=, var, and range variables. An
+// index expression touching any of these is treated as task-derived.
+func closureLocals(lit *ast.FuncLit) map[string]bool {
+	locals := map[string]bool{}
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				locals[name.Name] = true
+			}
+		}
+	}
+	addFields(lit.Type.Params)
+	addFields(lit.Type.Results)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok == token.DEFINE {
+				for _, lhs := range v.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						locals[id.Name] = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for _, name := range v.Names {
+				locals[name.Name] = true
+			}
+		case *ast.RangeStmt:
+			if v.Tok == token.DEFINE {
+				for _, e := range []ast.Expr{v.Key, v.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						locals[id.Name] = true
+					}
+				}
+			}
+		case *ast.FuncLit:
+			addFields(v.Type.Params)
+			addFields(v.Type.Results)
+		}
+		return true
+	})
+	return locals
+}
+
+// rootIdent unwraps an index/selector/paren/star chain to its base
+// identifier.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// usesLocal reports whether an expression mentions any closure-local
+// identifier.
+func usesLocal(e ast.Expr, locals map[string]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && locals[id.Name] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// checkWorkerEscape flags *core.Worker values crossing into raw
+// goroutines. A Worker is bound to the structured fork/join tree; using
+// it from an unstructured goroutine breaks the D&C discipline the
+// census relies on.
+func (a *analysis) checkWorkerEscape(f *fileInfo, fd *ast.FuncDecl) {
+	workers := map[string]bool{}
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if !isWorkerType(f, field.Type) {
+				continue
+			}
+			for _, name := range field.Names {
+				workers[name.Name] = true
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		// Closure parameters of Worker type (p.Do(func(w *core.Worker)...))
+		// also bind workers.
+		if lit, ok := n.(*ast.FuncLit); ok {
+			collectLit(f, lit, workers)
+		}
+		return true
+	})
+	if len(workers) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		escaped := ""
+		ast.Inspect(g.Call, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && workers[id.Name] {
+				escaped = id.Name
+				return false
+			}
+			return true
+		})
+		if escaped == "" || a.markerFor(f, g) {
+			return true
+		}
+		pos := a.fset.Position(g.Pos())
+		a.report(Diag{
+			File: f.rel, Line: pos.Line, Col: pos.Column,
+			Rule: "worker-escape", Fear: core.Scared.String(),
+			Msg: fmt.Sprintf("worker %q escapes into a raw goroutine; workers are bound to the structured join tree (use w.Join or core.Run)",
+				escaped),
+		})
+		return true
+	})
+}
+
+func collectLit(f *fileInfo, lit *ast.FuncLit, workers map[string]bool) {
+	if lit.Type.Params == nil {
+		return
+	}
+	for _, field := range lit.Type.Params.List {
+		if !isWorkerType(f, field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			workers[name.Name] = true
+		}
+	}
+}
+
+// isWorkerType recognizes core.Worker / sched.Worker (optionally
+// pointer) type expressions.
+func isWorkerType(f *fileInfo, t ast.Expr) bool {
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	sel, ok := t.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Worker" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	path, imported := f.imports[id.Name]
+	return imported && (isPath(path, corePath) || isPath(path, schedPath))
+}

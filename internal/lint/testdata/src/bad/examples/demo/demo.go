@@ -1,0 +1,17 @@
+// Demo seeds the unchecked-in-example violation: end-user examples must
+// stay on the Fearless/Comfortable surface.
+package main
+
+import (
+	"fixture/internal/core"
+)
+
+func main() {
+	dst := make([]uint32, 4)
+	pos := []int{3, 1, 0, 2}
+	core.Run(func(w *core.Worker) {
+		core.IndForEachUnchecked(w, dst, pos, func(slot *uint32, i int) {
+			*slot = uint32(i)
+		})
+	})
+}

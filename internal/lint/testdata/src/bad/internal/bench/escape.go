@@ -1,0 +1,13 @@
+package bench
+
+import (
+	"fixture/internal/core"
+)
+
+func escapeKernel(w *core.Worker, done chan struct{}) {
+	go func() {
+		w.Join(func(w *core.Worker) {}, func(w *core.Worker) {})
+		close(done)
+	}()
+	<-done
+}

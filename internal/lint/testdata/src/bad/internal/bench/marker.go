@@ -1,0 +1,4 @@
+package bench
+
+//lint:scared
+func markedWithoutReason() {}

@@ -1,0 +1,16 @@
+package bench
+
+import (
+	"sync/atomic"
+
+	"fixture/internal/core"
+)
+
+func mm2Kernel(flags []int32, i int) {
+	atomic.StoreInt32(&flags[i], 1)
+}
+
+func init() {
+	core.DeclareSite("mm2", "shared flag write", core.SngInd)
+	core.DeclareSite("mm2", "shared flag write", core.AW)
+}

@@ -1,0 +1,16 @@
+package bench
+
+import (
+	"fixture/internal/core"
+)
+
+func staleKernel(w *core.Worker, dst []uint32) {
+	core.ForRange(w, 0, len(dst), 0, func(i int) {
+		dst[i] = 0
+	})
+}
+
+func init() {
+	core.DeclareSite("stale", "zero write", core.Stride)
+	core.DeclareSite("stale", "chunk rewrite", core.RngInd)
+}

@@ -1,0 +1,19 @@
+// Package bench is the known-bad fixture: each file seeds one class of
+// violation the linter must report with an exact position.
+package bench
+
+import (
+	"fixture/internal/core"
+)
+
+// undeclaredKernel declares no sites at all: the Stride loop is an
+// undeclared pattern and the unchecked scatter is uncontained scared
+// code.
+func undeclaredKernel(w *core.Worker, dst, src []uint32, pos []int) {
+	core.ForRange(w, 0, len(src), 0, func(i int) {
+		dst[i] = src[i]
+	})
+	core.IndForEachUnchecked(w, dst, pos, func(slot *uint32, i int) {
+		*slot = src[i]
+	})
+}

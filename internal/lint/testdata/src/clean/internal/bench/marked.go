@@ -1,0 +1,18 @@
+package bench
+
+import "sync"
+
+// mergeLocked folds partial results under a lock; the file declares no
+// irregular site, so the marker is what contains the raw mutex.
+//
+//lint:scared fixture: lock-protected merge audited by hand
+func mergeLocked(partials []int64) int64 {
+	var mu sync.Mutex
+	total := int64(0)
+	for _, p := range partials {
+		mu.Lock()
+		total += p
+		mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,138 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/lint"
+)
+
+// FearReport compares the two censuses the suite keeps: the static one
+// rpblint re-derives from source, and the runtime DeclareSite registry
+// the benchmarks populate at init. The paper self-reports its Table 1 /
+// Fig 3 pattern counts; this table is the audit — if the analyzer and
+// the registry disagree about any benchmark's pattern set, the census
+// cannot be trusted, and the disagreement is printed per bench.
+//
+// root is the module root to analyze; empty means walk up from the
+// working directory to the nearest go.mod.
+func FearReport(w io.Writer, root string) error {
+	if root == "" {
+		var err error
+		root, err = findModuleRoot()
+		if err != nil {
+			return err
+		}
+	}
+	rep, err := lint.Run(lint.Config{Root: root})
+	if err != nil {
+		return err
+	}
+	static := rep.Census.ToCoreCensus()
+	runtime := core.TakeCensus()
+
+	fmt.Fprintln(w, "Fear report: static (source-derived) vs runtime (DeclareSite) census")
+	fmt.Fprintf(w, "%-8s %-28s %-28s %s\n", "bench", "static patterns", "runtime patterns", "agree")
+	benches := unionSorted(static.Benches, runtime.Benches)
+	disagreements := 0
+	for _, b := range benches {
+		s := patternSet(static.PerBench[b])
+		r := patternSet(runtime.PerBench[b])
+		agree := "yes"
+		if s != r {
+			agree = "NO"
+			disagreements++
+		}
+		fmt.Fprintf(w, "%-8s %-28s %-28s %s\n", b, s, r, agree)
+	}
+	fmt.Fprintf(w, "\n%-8s %8s %8s\n", "pattern", "static", "runtime")
+	for _, p := range core.Patterns {
+		fmt.Fprintf(w, "%-8s %8d %8d\n", p, static.PerKind[p], runtime.PerKind[p])
+	}
+	fmt.Fprintf(w, "%-8s %8d %8d   (irregular: %d static, %d runtime)\n",
+		"total", static.Total, runtime.Total, static.Irregular, runtime.Irregular)
+
+	if conflicts := core.SiteConflicts(); len(conflicts) > 0 {
+		fmt.Fprintf(w, "\n%d conflicting re-declarations:\n", len(conflicts))
+		for _, c := range conflicts {
+			fmt.Fprintf(w, "  (%s, %q): first %s, re-declared %s\n", c.Bench, c.Label, c.First, c.Redeclared)
+		}
+	}
+
+	fmt.Fprintln(w, "\nScared-construct containment (per package):")
+	fmt.Fprintf(w, "%-22s %-10s %9s %7s %5s %4s %7s %7s\n",
+		"package", "role", "unchecked", "atomics", "sync", "go", "helpers", "engines")
+	for _, p := range rep.Packages {
+		if p.Scared() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-22s %-10s %9d %7d %5d %4d %7d %7d\n",
+			p.Path, p.Role, p.Unchecked, p.Atomics, p.SyncDecls, p.GoStmts, p.AWHelpers, p.Engines)
+	}
+
+	if len(rep.Diags) > 0 {
+		fmt.Fprintf(w, "\n%d lint diagnostics:\n", len(rep.Diags))
+		for _, d := range rep.Diags {
+			fmt.Fprintln(w, " ", d)
+		}
+	}
+	switch {
+	case disagreements > 0:
+		return fmt.Errorf("fear report: static and runtime censuses disagree on %d benchmark(s)", disagreements)
+	case len(rep.Diags) > 0:
+		return fmt.Errorf("fear report: %d lint diagnostics", len(rep.Diags))
+	}
+	fmt.Fprintln(w, "\nstatic and runtime censuses agree for every benchmark; no lint diagnostics.")
+	return nil
+}
+
+// patternSet renders a bench's pattern set in Table 1 column order.
+func patternSet(m map[core.Pattern]bool) string {
+	if len(m) == 0 {
+		return "-"
+	}
+	var parts []string
+	for _, p := range core.Patterns {
+		if m[p] {
+			parts = append(parts, p.String())
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func unionSorted(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range append(append([]string(nil), a...), b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod, so rpbreport works from any subdirectory.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

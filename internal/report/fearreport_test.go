@@ -1,0 +1,29 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFearReport runs the static-vs-runtime census comparison over the
+// repository and requires full agreement (it returns an error on any
+// disagreement or lint diagnostic).
+func TestFearReport(t *testing.T) {
+	var sb strings.Builder
+	if err := FearReport(&sb, "../.."); err != nil {
+		t.Fatalf("%v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"static (source-derived) vs runtime",
+		"censuses agree for every benchmark",
+		"internal/bench",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fear report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NO") {
+		t.Errorf("fear report shows a disagreement:\n%s", out)
+	}
+}
