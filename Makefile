@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test lint race bench report figures inputs clean
+.PHONY: build test lint race bench bench-sched report figures inputs clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,15 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Scheduler fast-path microbenchmarks (lazy splitting, join frames,
+# park/wake), exported to BENCH_sched.json as benchmark name -> ns/op,
+# allocs/op, splits/op. CI runs this with BENCHTIME=1x as a smoke test
+# so the fast path cannot silently rot; see docs/SCHED.md.
+SCHED_BENCH = BenchmarkSchedFor|BenchmarkSchedJoin|BenchmarkForOverhead|BenchmarkJoinFib|BenchmarkSpawnJoinOverhead|BenchmarkGrainSweep
+BENCHTIME ?= 1s
+bench-sched:
+	$(GO) test -run xxx -bench '$(SCHED_BENCH)' -benchmem -benchtime $(BENCHTIME) ./internal/sched/ | $(GO) run ./cmd/benchjson -out BENCH_sched.json
 
 # Regenerate every table and figure at small scale.
 report:

@@ -1,0 +1,101 @@
+// benchjson converts `go test -bench` output on stdin into a JSON file
+// mapping benchmark name → metrics (ns/op, B/op, allocs/op, and any
+// custom b.ReportMetric units such as splits/op), while echoing the
+// original output to stdout. It is the exporter behind `make
+// bench-sched`, which records the scheduler fast-path microbenchmarks in
+// BENCH_sched.json so regressions are visible in review and CI.
+//
+//	go test -bench . -benchmem ./internal/sched/ | go run ./cmd/benchjson -out BENCH_sched.json
+//
+// A FAIL anywhere in the stream (or a stream with no benchmark lines)
+// makes benchjson exit non-zero so piped CI steps cannot silently pass.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches e.g.
+//
+//	BenchmarkSchedJoin-8   10611117   112.2 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// stripProcSuffix removes the trailing -N go test appends when
+// GOMAXPROCS>1, so names stay stable across machines. Only the exact
+// current GOMAXPROCS value is stripped; sub-benchmark names that happen
+// to end in a number (grain-64) are left alone.
+func stripProcSuffix(name string) string {
+	procs := runtime.GOMAXPROCS(0)
+	if procs <= 1 {
+		return name
+	}
+	suffix := fmt.Sprintf("-%d", procs)
+	return strings.TrimSuffix(name, suffix)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sched.json", "output JSON path")
+	flag.Parse()
+
+	results := map[string]map[string]float64{}
+	failed := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if strings.Contains(line, "FAIL") {
+			failed = true
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := stripProcSuffix(m[1])
+		metrics := map[string]float64{}
+		if iters, err := strconv.ParseFloat(m[2], 64); err == nil {
+			metrics["iterations"] = iters
+		}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := strings.NewReplacer("/", "_", "-", "_").Replace(fields[i+1])
+			metrics[unit] = v
+		}
+		results[name] = metrics
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: FAIL seen in benchmark output")
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}

@@ -82,7 +82,11 @@ func main() {
 	})
 	run("fearreport", func() error { return report.FearReport(out, "") })
 	run("sched", func() error {
-		return report.SchedReport(out, sc, "sort", []int{1, 2, 4, 8})
+		counts := []int{1, 2, 4, 8}
+		if *threads > 8 {
+			counts = append(counts, *threads)
+		}
+		return report.SchedReport(out, sc, "sort", counts)
 	})
 	run("coverage", func() error { report.Coverage(out); return nil })
 }

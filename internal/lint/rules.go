@@ -277,7 +277,90 @@ func (a *analysis) checkRaces(f *fileInfo) {
 			continue
 		}
 		a.checkWorkerEscape(f, fd)
+		a.checkJoinSharedWrites(f, fd)
 	}
+}
+
+// checkJoinSharedWrites flags a captured scalar written in both branches
+// of one Worker.Join call. The branches may run concurrently on
+// different workers, so such a write races — the hand-rolled "join
+// latch" anti-pattern the scheduler's internal join frames exist to
+// encapsulate (frames pair the flag with an atomic latch; see
+// docs/SCHED.md). Disjoint per-branch accumulators (x in one branch, y
+// in the other) are the fearless D&C shape and pass untouched.
+func (a *analysis) checkJoinSharedWrites(f *fileInfo, fd *ast.FuncDecl) {
+	workers := workerIdents(f, fd)
+	if len(workers) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Join" {
+			return true
+		}
+		recv, ok := sel.X.(*ast.Ident)
+		if !ok || !workers[recv.Name] {
+			return true
+		}
+		la, aok := call.Args[0].(*ast.FuncLit)
+		lb, bok := call.Args[1].(*ast.FuncLit)
+		if !aok || !bok {
+			return true
+		}
+		first := capturedScalarWrites(la)
+		second := capturedScalarWrites(lb)
+		for name, id := range second {
+			if _, both := first[name]; !both {
+				continue
+			}
+			if a.markerFor(f, id) {
+				continue
+			}
+			pos := a.fset.Position(id.Pos())
+			a.report(Diag{
+				File: f.rel, Line: pos.Line, Col: pos.Column,
+				Rule: "join-branch-shared-write", Fear: core.Scared.String(),
+				Msg: fmt.Sprintf("captured variable %q is written by both branches of %s.Join; the branches may run concurrently (use per-branch accumulators or an atomic)",
+					name, recv.Name),
+			})
+		}
+		return true
+	})
+}
+
+// capturedScalarWrites collects the non-local scalar identifiers a
+// closure assigns to, keyed by name with one representative site.
+func capturedScalarWrites(lit *ast.FuncLit) map[string]*ast.Ident {
+	locals := closureLocals(lit)
+	writes := map[string]*ast.Ident{}
+	record := func(lhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" || locals[id.Name] {
+			return
+		}
+		if _, seen := writes[id.Name]; !seen {
+			writes[id.Name] = id
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if v.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range v.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(v.X)
+		}
+		return true
+	})
+	return writes
 }
 
 // checkParallelBody inspects one closure passed as a primitive's
@@ -425,30 +508,7 @@ func usesLocal(e ast.Expr, locals map[string]bool) bool {
 // it from an unstructured goroutine breaks the D&C discipline the
 // census relies on.
 func (a *analysis) checkWorkerEscape(f *fileInfo, fd *ast.FuncDecl) {
-	workers := map[string]bool{}
-	collect := func(fl *ast.FieldList) {
-		if fl == nil {
-			return
-		}
-		for _, field := range fl.List {
-			if !isWorkerType(f, field.Type) {
-				continue
-			}
-			for _, name := range field.Names {
-				workers[name.Name] = true
-			}
-		}
-	}
-	collect(fd.Recv)
-	collect(fd.Type.Params)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		// Closure parameters of Worker type (p.Do(func(w *core.Worker)...))
-		// also bind workers.
-		if lit, ok := n.(*ast.FuncLit); ok {
-			collectLit(f, lit, workers)
-		}
-		return true
-	})
+	workers := workerIdents(f, fd)
 	if len(workers) == 0 {
 		return
 	}
@@ -477,6 +537,35 @@ func (a *analysis) checkWorkerEscape(f *fileInfo, fd *ast.FuncDecl) {
 		})
 		return true
 	})
+}
+
+// workerIdents gathers the identifiers of *core.Worker / *sched.Worker
+// values bound in fd: the receiver, parameters, and parameters of any
+// nested closure (p.Do(func(w *core.Worker) { ... }) binds w).
+func workerIdents(f *fileInfo, fd *ast.FuncDecl) map[string]bool {
+	workers := map[string]bool{}
+	collect := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if !isWorkerType(f, field.Type) {
+				continue
+			}
+			for _, name := range field.Names {
+				workers[name.Name] = true
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			collectLit(f, lit, workers)
+		}
+		return true
+	})
+	return workers
 }
 
 func collectLit(f *fileInfo, lit *ast.FuncLit, workers map[string]bool) {

@@ -181,7 +181,8 @@ func TestSchedReportRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	if !strings.Contains(out, "steal-ratio") || !strings.Contains(out, "hist") {
+	if !strings.Contains(out, "steal%") || !strings.Contains(out, "hist") ||
+		!strings.Contains(out, "splits/stolen") || !strings.Contains(out, "wake-skips") {
 		t.Errorf("sched report incomplete:\n%s", out)
 	}
 }

@@ -13,9 +13,19 @@ const dequeCapacity = 1 << 13
 // top/bottom indices and atomic task slots, following Chase & Lev,
 // "Dynamic Circular Work-Stealing Deque" (SPAA 2005), with the dynamic
 // growth replaced by an overflow path handled by the caller.
+//
+// top (thief-CAS'd), bottom (owner-written), and steals (thief-written)
+// each sit on their own cache line: a thief hammering CAS on top must not
+// invalidate the line the owner's push/pop path reads bottom from, and
+// vice versa — the false-sharing half of making the uncontended fast
+// path cheap.
 type deque struct {
 	top    atomic.Int64 // next index to steal from
+	_      [56]byte
 	bottom atomic.Int64 // next index to push at (owner-only writes)
+	_      [56]byte
+	steals atomic.Int64 // successful steals from this deque, ever
+	_      [56]byte
 	tasks  [dequeCapacity]atomic.Pointer[Task]
 }
 
@@ -57,7 +67,9 @@ func (d *deque) PopBottom() *Task {
 }
 
 // Steal removes and returns the oldest task, or nil when the deque is
-// empty or the steal race was lost. Any worker may call Steal.
+// empty or the steal race was lost. Any worker may call Steal. A
+// successful steal bumps the deque's raid counter, which the owner reads
+// as the "my deque was raided" demand hint driving lazy splitting.
 func (d *deque) Steal() *Task {
 	top := d.top.Load()
 	b := d.bottom.Load()
@@ -68,8 +80,14 @@ func (d *deque) Steal() *Task {
 	if !d.top.CompareAndSwap(top, top+1) {
 		return nil
 	}
+	d.steals.Add(1)
 	return t
 }
+
+// Raids returns the number of successful steals from this deque since the
+// pool started — a monotone counter the owner compares against a snapshot
+// to detect demand.
+func (d *deque) Raids() int64 { return d.steals.Load() }
 
 // Empty reports whether the deque currently appears empty. It is a racy
 // snapshot intended for heuristics only.

@@ -1,0 +1,86 @@
+package sched
+
+// This file holds the demand-driven parallel loop. The paper's Fig 4/6
+// claim — a pattern library costing ≈1x over hand-rolled code at one
+// thread — rests on the scheduler's uncontended path being near-free, so
+// For splits lazily, Rayon-style: run the range as a sequential chunk
+// loop and carve off the upper half only when a demand signal (a parked
+// worker, or a thief raiding this worker's deque) indicates idle
+// capacity. An uncontended For therefore executes O(steals) tasks
+// instead of the O(n/grain) an eager splitter creates.
+
+// For executes body over [lo, hi), lazily splitting off stealable
+// subranges while idle workers exist, and running grain-sized chunks
+// sequentially otherwise. Ranges passed to body are at most grain
+// elements. grain <= 0 selects an automatic grain (about 8 tasks per
+// worker under full subdivision). body may be invoked concurrently on
+// disjoint subranges and must be safe under that concurrency.
+func (w *Worker) For(lo, hi, grain int, body func(w *Worker, lo, hi int)) {
+	if hi <= lo {
+		return
+	}
+	if grain <= 0 {
+		grain = grainFor(hi-lo, w.pool.Workers())
+	}
+	w.forAdaptive(lo, hi, grain, body)
+}
+
+// forAdaptive is the lazy splitter: between grain-sized sequential
+// chunks it consults shouldSplit, and on demand forks the remaining
+// range's upper half through Join (whose frame is allocation-free when
+// the half is not stolen). Each stolen half re-enters forAdaptive on the
+// thief, so subdivision recursively tracks the number of idle workers.
+func (w *Worker) forAdaptive(lo, hi, grain int, body func(w *Worker, lo, hi int)) {
+	for hi-lo > grain {
+		if w.shouldSplit() {
+			mid := lo + (hi-lo)/2
+			lo1, mid2, hi2 := lo, mid, hi
+			w.nSplits.Add(1)
+			w.Join(
+				func(w *Worker) { w.forAdaptive(lo1, mid, grain, body) },
+				func(w *Worker) { w.forAdaptive(mid2, hi2, grain, body) },
+			)
+			return
+		}
+		next := lo + grain
+		body(w, lo, next)
+		lo = next
+	}
+	if hi > lo {
+		body(w, lo, hi)
+	}
+}
+
+// shouldSplit is the demand hint behind lazy splitting: split when idle
+// capacity is observable — some worker is parked, or this worker's deque
+// was raided since the last check (a thief is actively looking for our
+// work). On a single-worker pool it is constant false, so a 1-worker For
+// is a plain sequential loop.
+func (w *Worker) shouldSplit() bool {
+	p := w.pool
+	if len(p.workers) <= 1 {
+		return false
+	}
+	if p.nparked.Load() > 0 {
+		return true
+	}
+	if s := w.deque.Raids(); s != w.lastRaid {
+		w.lastRaid = s
+		return true
+	}
+	return false
+}
+
+// ForEachWorker runs body once per pool worker, in parallel, passing each
+// invocation its worker. It is useful for initializing or reducing
+// per-worker scratch state. Invocations are not guaranteed to land on
+// distinct workers; bodies needing per-worker effects should key off
+// w.ID().
+func (w *Worker) ForEachWorker(body func(w *Worker)) {
+	n := w.pool.Workers()
+	w.For(0, n, 1, func(w *Worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(w)
+		}
+	})
+}

@@ -37,99 +37,110 @@ func capture(f func(w *Worker), w *Worker) (tp *TaskPanic) {
 	return nil
 }
 
+// Frame states for joinFrame.state.
+const (
+	framePending uint32 = iota
+	frameDone
+)
+
+// joinFrame is the bookkeeping record for one Join: the stealable branch,
+// a completion latch, and a panic slot in a single struct, plus a
+// pre-built trampoline Task bound to the frame. Frames live in a
+// per-worker cache indexed by Join nesting depth — joins on one worker
+// nest in strict LIFO order (a Join returns only after its branch
+// completed, and any Join started while helping is strictly deeper) — so
+// each depth's frame is reused across calls and the steady-state Join
+// performs zero heap allocations on the unstolen path.
+//
+// Reuse is race-free because a frame is recycled only after its owner
+// observed state == frameDone, which the (unique) executor stores last;
+// a thief that read the frame's task pointer from a previous round can
+// never win its top CAS once that round's task was claimed.
+type joinFrame struct {
+	fb    func(w *Worker) // branch offered to thieves; nil between Joins
+	state atomic.Uint32   // framePending until fb has run
+	tp    atomic.Pointer[TaskPanic]
+	task  Task // trampoline: runs fb via the frame; built once per frame
+}
+
+// run executes the frame's branch and flips the completion latch. It may
+// run on any worker: the owner (unstolen fast path) or a thief.
+func (f *joinFrame) run(w *Worker) {
+	if tp := capture(f.fb, w); tp != nil {
+		f.tp.Store(tp)
+	}
+	f.state.Store(frameDone)
+}
+
+// acquireFrame returns the reusable join frame for the worker's current
+// nesting depth, growing the cache on first use of a new depth (the only
+// allocation the Join path ever performs).
+func (w *Worker) acquireFrame() *joinFrame {
+	d := w.joinDepth
+	w.joinDepth++
+	if d == len(w.frames) {
+		f := &joinFrame{}
+		f.task = func(w2 *Worker) { f.run(w2) }
+		w.frames = append(w.frames, f)
+	}
+	return w.frames[d]
+}
+
+// releaseFrame returns the current frame to the cache.
+func (w *Worker) releaseFrame(f *joinFrame) {
+	f.fb = nil // do not retain the branch closure between Joins
+	w.joinDepth--
+}
+
 // Join runs fa and fb, potentially in parallel, and returns when both have
 // completed. fb is made available for stealing while the current worker
 // runs fa; if nobody stole it, the current worker runs it too. While
 // waiting for a stolen fb, the worker helps by executing other pool tasks
 // (help-first joining, as in Cilk and Rayon).
 //
+// The unstolen path — the overwhelmingly common case under lazy
+// splitting — allocates nothing: the branch rides a cached join frame and
+// comes straight back off the bottom of the deque.
+//
 // A panic in either branch is re-raised from Join as a *TaskPanic —
 // after both branches have completed, preserving structured
 // concurrency even on the failure path.
 func (w *Worker) Join(fa, fb func(w *Worker)) {
-	var done atomic.Bool
-	var fbPanic atomic.Pointer[TaskPanic]
-	t := Task(func(w2 *Worker) {
-		if tp := capture(fb, w2); tp != nil {
-			fbPanic.Store(tp)
-		}
-		done.Store(true)
-	})
-	w.Spawn(&t)
+	f := w.acquireFrame()
+	f.fb = fb
+	f.tp.Store(nil)
+	f.state.Store(framePending)
+	w.Spawn(&f.task)
 	faPanic := capture(fa, w)
-	// Fast path: the task we spawned is still at the bottom of our deque
-	// if fa spawned and joined in strict stack order.
-	for {
-		if done.Load() {
-			if faPanic != nil {
-				panic(faPanic)
-			}
-			if tp := fbPanic.Load(); tp != nil {
-				panic(tp)
-			}
-			return
-		}
-		local := w.deque.PopBottom()
-		if local != nil {
-			w.pool.pending.Add(-1)
+	for f.state.Load() != frameDone {
+		// Fast path: the task we spawned is still at the bottom of our
+		// deque if fa spawned and joined in strict stack order.
+		if local := w.deque.PopBottom(); local != nil {
 			w.nExecuted.Add(1)
 			(*local)(w)
 			continue
 		}
-		// Our deque is empty; the spawned task was stolen (or routed to
-		// the injector). Help with any available work while waiting.
+		// Our deque is empty; the spawned branch was stolen (or routed
+		// to the injector). Help with any available work while waiting.
 		other := w.pool.popInjector()
 		if other == nil {
 			other = w.trySteal()
 		}
 		if other != nil {
-			w.pool.pending.Add(-1)
 			w.nExecuted.Add(1)
 			(*other)(w)
 			continue
 		}
 		runtime.Gosched()
 	}
-}
-
-// For executes body over [lo, hi) by recursive binary splitting, creating
-// stealable subranges until ranges are at most grain elements. grain <= 0
-// selects an automatic grain (about 8 tasks per worker). body may be
-// invoked concurrently on disjoint subranges and must be safe under that
-// concurrency.
-func (w *Worker) For(lo, hi, grain int, body func(w *Worker, lo, hi int)) {
-	if hi <= lo {
-		return
+	fbPanic := f.tp.Load()
+	w.releaseFrame(f)
+	if faPanic != nil {
+		panic(faPanic)
 	}
-	if grain <= 0 {
-		grain = grainFor(hi-lo, w.pool.Workers())
+	if fbPanic != nil {
+		panic(fbPanic)
 	}
-	w.forSplit(lo, hi, grain, body)
-}
-
-func (w *Worker) forSplit(lo, hi, grain int, body func(w *Worker, lo, hi int)) {
-	for hi-lo > grain {
-		mid := lo + (hi-lo)/2
-		lo2, hi2 := mid, hi
-		w.Join(
-			func(w *Worker) { w.forSplit(lo, mid, grain, body) },
-			func(w *Worker) { w.forSplit(lo2, hi2, grain, body) },
-		)
-		return
-	}
-	body(w, lo, hi)
-}
-
-// ForEachWorker runs body once per pool worker, in parallel, passing each
-// invocation its worker. It is useful for initializing or reducing
-// per-worker scratch state.
-func (w *Worker) ForEachWorker(body func(w *Worker)) {
-	n := w.pool.Workers()
-	w.For(0, n, 1, func(w *Worker, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			body(w)
-		}
-	})
 }
 
 // Sequential reports whether the pool has a single worker, in which case
@@ -152,7 +163,6 @@ func (w *Worker) SpawnTask(f func(w *Worker)) {
 func (w *Worker) HelpUntil(cond func() bool) {
 	for !cond() {
 		if t := w.next(); t != nil {
-			w.pool.pending.Add(-1)
 			w.nExecuted.Add(1)
 			(*t)(w)
 			continue

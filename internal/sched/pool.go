@@ -2,6 +2,11 @@
 // a fixed pool of worker goroutines, each owning a Chase-Lev deque, with
 // random stealing, an overflow injector queue, and help-first joins.
 //
+// The fast path is demand-driven (see docs/SCHED.md): For runs ranges
+// sequentially and splits only on observed demand, Join reuses per-worker
+// stack-discipline join frames instead of allocating, and Spawn skips the
+// pool mutex entirely when no worker is parked.
+//
 // This is the runtime substrate under the parallel-patterns library in
 // internal/core, playing the role Rayon's thread pool plays in the paper.
 package sched
@@ -26,34 +31,61 @@ type Pool struct {
 	parked   []*Worker
 	closed   bool
 
-	// pending counts tasks submitted but not yet started, used only to
-	// keep parked workers from missing work; correctness does not depend
-	// on it being exact.
-	pending atomic.Int64
-
-	seq atomic.Uint64 // seed sequence for worker RNGs
+	// ninject mirrors len(injector) so idle probes and parking re-checks
+	// can observe queued external work without taking the mutex.
+	_       [64]byte
+	ninject atomic.Int64
+	// nparked mirrors len(parked). Publishers (Spawn, inject) read it to
+	// skip the wake path when nobody is parked — the contention-free
+	// wakeup fast path — so it lives on its own cache line.
+	_       [56]byte
+	nparked atomic.Int32
+	_       [60]byte
 }
 
 // Worker is a single pool worker. Worker methods (Spawn, Join, For) may
 // be called only from code running on this worker.
 type Worker struct {
-	pool  *Pool
-	id    int
+	pool *Pool
+	id   int
+	rng  uint64
+	park chan struct{}
+
+	// Join-frame cache: frames[d] is the reusable frame for a Join at
+	// nesting depth d on this worker. Joins nest in strict LIFO order,
+	// so reuse by depth is safe and the steady-state Join allocates
+	// nothing. Owner-only.
+	frames    []*joinFrame
+	joinDepth int
+
+	// lastRaid is the deque raid count observed at the previous split
+	// check; a change means a thief stole from us. Owner-only.
+	lastRaid int64
+
+	// The deque is written by thieves (top, steals); keep it off the
+	// cache lines holding the owner-only state above and the counters
+	// below (the deque pads its own interior fields).
+	_     [64]byte
 	deque deque
-	rng   uint64
-	park  chan struct{}
 
 	// Observability counters (atomic; owner-incremented, racily read).
-	nExecuted atomic.Int64
-	nStolen   atomic.Int64
-	nParked   atomic.Int64
+	_          [64]byte
+	nExecuted  atomic.Int64
+	nStolen    atomic.Int64
+	nParked    atomic.Int64
+	nSplits    atomic.Int64
+	nWakeSkips atomic.Int64
+	nOverflows atomic.Int64
 }
 
 // WorkerStats is a snapshot of one worker's activity counters.
 type WorkerStats struct {
-	Executed int64 // tasks this worker ran
-	Stolen   int64 // tasks it obtained by stealing from a victim
-	Parked   int64 // times it went to sleep for lack of work
+	Executed      int64 // tasks this worker ran
+	Stolen        int64 // tasks it obtained by stealing from a victim
+	Parked        int64 // times it went to sleep for lack of work
+	SplitsSpawned int64 // For halves it spawned via lazy splitting
+	WakeSkips     int64 // Spawns that skipped the wake path (nobody parked)
+	Overflows     int64 // Spawns routed to the injector on a full deque
 }
 
 // Stats returns a racy snapshot of per-worker activity since the pool
@@ -62,9 +94,12 @@ func (p *Pool) Stats() []WorkerStats {
 	out := make([]WorkerStats, len(p.workers))
 	for i, w := range p.workers {
 		out[i] = WorkerStats{
-			Executed: w.nExecuted.Load(),
-			Stolen:   w.nStolen.Load(),
-			Parked:   w.nParked.Load(),
+			Executed:      w.nExecuted.Load(),
+			Stolen:        w.nStolen.Load(),
+			Parked:        w.nParked.Load(),
+			SplitsSpawned: w.nSplits.Load(),
+			WakeSkips:     w.nWakeSkips.Load(),
+			Overflows:     w.nOverflows.Load(),
 		}
 	}
 	return out
@@ -103,6 +138,7 @@ func (p *Pool) Close() {
 	p.closed = true
 	parked := p.parked
 	p.parked = nil
+	p.nparked.Store(0)
 	p.mu.Unlock()
 	for _, w := range parked {
 		select {
@@ -129,16 +165,25 @@ func (p *Pool) Do(f func(w *Worker)) {
 
 // inject adds a task to the global queue and wakes a parked worker.
 func (p *Pool) inject(t *Task) {
-	p.pending.Add(1)
+	p.pushInjector(t)
+	p.wakeOne()
+}
+
+// pushInjector appends t to the global queue. It is the single audited
+// path for every task that bypasses a worker deque: external submissions
+// (Do) and deque-overflow spills from Worker.Spawn both land here. The
+// ninject bump must happen before the caller consults nparked, pairing
+// with the announce-then-recheck order in parkUntilWork.
+func (p *Pool) pushInjector(t *Task) {
 	p.mu.Lock()
 	p.injector = append(p.injector, t)
+	p.ninject.Add(1)
 	p.mu.Unlock()
-	p.wakeOne()
 }
 
 // popInjector removes a task from the global queue, or returns nil.
 func (p *Pool) popInjector() *Task {
-	if p.pending.Load() == 0 {
+	if p.ninject.Load() == 0 {
 		return nil
 	}
 	p.mu.Lock()
@@ -147,26 +192,38 @@ func (p *Pool) popInjector() *Task {
 		t = p.injector[n-1]
 		p.injector[n-1] = nil
 		p.injector = p.injector[:n-1]
+		p.ninject.Add(-1)
 	}
 	p.mu.Unlock()
 	return t
 }
 
-// wakeOne unparks a single parked worker, if any.
-func (p *Pool) wakeOne() {
+// wakeOne unparks a single parked worker, if any, and reports whether it
+// woke one. When nparked reads zero — the common case on the fork-join
+// fast path — it returns without touching the pool mutex. Callers must
+// publish their work (deque push or pushInjector) before calling, so the
+// publish/read-nparked order here pairs with the announce/re-check order
+// in parkUntilWork: one side always observes the other.
+func (p *Pool) wakeOne() bool {
+	if p.nparked.Load() == 0 {
+		return false
+	}
 	p.mu.Lock()
 	var w *Worker
 	if n := len(p.parked); n > 0 {
 		w = p.parked[n-1]
 		p.parked = p.parked[:n-1]
+		p.nparked.Add(-1)
 	}
 	p.mu.Unlock()
-	if w != nil {
-		select {
-		case w.park <- struct{}{}:
-		default:
-		}
+	if w == nil {
+		return false
 	}
+	select {
+	case w.park <- struct{}{}:
+	default:
+	}
+	return true
 }
 
 // ID returns the worker's index in [0, Pool.Workers()). It is stable for
@@ -179,15 +236,15 @@ func (w *Worker) Pool() *Pool { return w.pool }
 // Spawn schedules t to run asynchronously on the pool. The caller is
 // responsible for tracking completion (Join does this automatically).
 func (w *Worker) Spawn(t *Task) {
-	w.pool.pending.Add(1)
 	if !w.deque.PushBottom(t) {
-		// Deque full: fall back to the injector. pending was already
-		// incremented, so inject manually to avoid double counting.
-		w.pool.mu.Lock()
-		w.pool.injector = append(w.pool.injector, t)
-		w.pool.mu.Unlock()
+		// Deque full: spill to the global queue through the one audited
+		// overflow path.
+		w.nOverflows.Add(1)
+		w.pool.pushInjector(t)
 	}
-	w.pool.wakeOne()
+	if !w.pool.wakeOne() {
+		w.nWakeSkips.Add(1)
+	}
 }
 
 // next finds the next task to run: own deque, then injector, then steal.
@@ -223,6 +280,77 @@ func (w *Worker) trySteal() *Task {
 	return nil
 }
 
+// workAvailable is the parking re-check: it reports whether any work is
+// visible in the injector or another worker's deque. Called after the
+// worker has announced itself parked (nparked incremented), so that a
+// publisher that missed the announcement is observed here instead.
+func (w *Worker) workAvailable() bool {
+	p := w.pool
+	if p.ninject.Load() > 0 {
+		return true
+	}
+	for _, v := range p.workers {
+		if v != w && !v.deque.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// parkUntilWork parks the worker until a publisher wakes it. It returns
+// false when the pool has been closed. The protocol is
+// announce-then-recheck: the worker first joins the parked list (making
+// nparked visible to publishers), then re-checks for work; publishers
+// push work first and read nparked second. Under sequential consistency
+// one of the two sides must observe the other, so no wakeup is lost even
+// though publishers skip the mutex when nparked reads zero.
+func (w *Worker) parkUntilWork() bool {
+	p := w.pool
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	p.parked = append(p.parked, w)
+	p.nparked.Add(1)
+	p.mu.Unlock()
+
+	if w.workAvailable() {
+		// Retract the announcement and go look for that work.
+		removed := false
+		p.mu.Lock()
+		for i, pw := range p.parked {
+			if pw == w {
+				p.parked = append(p.parked[:i], p.parked[i+1:]...)
+				p.nparked.Add(-1)
+				removed = true
+				break
+			}
+		}
+		closed := p.closed
+		p.mu.Unlock()
+		if removed {
+			return !closed
+		}
+		// A waker already popped us; its signal is in flight (or
+		// delivered). Consume it so it cannot go stale.
+		<-w.park
+		p.mu.Lock()
+		closed = p.closed
+		p.mu.Unlock()
+		return !closed
+	}
+
+	w.nParked.Add(1)
+	<-w.park
+	// Wakers (wakeOne, Close) remove a worker from the parked list
+	// before signaling it, so no list cleanup is needed here.
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	return !closed
+}
+
 // run is the worker main loop.
 func (w *Worker) run() {
 	idleSpins := 0
@@ -230,7 +358,6 @@ func (w *Worker) run() {
 		t := w.next()
 		if t != nil {
 			idleSpins = 0
-			w.pool.pending.Add(-1)
 			w.nExecuted.Add(1)
 			(*t)(w)
 			continue
@@ -240,37 +367,10 @@ func (w *Worker) run() {
 			runtime.Gosched()
 			continue
 		}
-		// Park until new work is injected or spawned.
-		p := w.pool
-		p.mu.Lock()
-		if p.closed {
-			p.mu.Unlock()
-			return
-		}
-		if p.pending.Load() > 0 {
-			p.mu.Unlock()
-			idleSpins = 0
-			continue
-		}
-		p.parked = append(p.parked, w)
-		p.mu.Unlock()
-		w.nParked.Add(1)
-		<-w.park
-		p.mu.Lock()
-		closed := p.closed
-		// Remove self from parked list if still present (spurious wake
-		// paths leave us there).
-		for i, pw := range p.parked {
-			if pw == w {
-				p.parked = append(p.parked[:i], p.parked[i+1:]...)
-				break
-			}
-		}
-		p.mu.Unlock()
-		if closed {
-			return
-		}
 		idleSpins = 0
+		if !w.parkUntilWork() {
+			return
+		}
 	}
 }
 
@@ -298,7 +398,9 @@ func splitmix64(x uint64) uint64 {
 }
 
 // grainFor picks a default grain so a balanced recursive split produces
-// roughly 8 tasks per worker, the Rayon heuristic.
+// roughly 8 tasks per worker, the Rayon heuristic. Under lazy splitting
+// the grain doubles as the demand-check interval: an uncontended For
+// re-examines the split hint once per grain-sized chunk.
 func grainFor(n, workers int) int {
 	if workers <= 0 {
 		workers = 1
