@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test lint race bench bench-sched report figures inputs clean
+.PHONY: build test lint certify certify-update race bench bench-sched report figures inputs clean
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,15 @@ lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/rpblint ./...
 
+# Offset-provenance certification (docs/LINT.md "Certification"):
+# re-derives every proof and fails if the committed lint-certs.json is
+# stale. Shared by CI; certify-update regenerates the file.
+certify:
+	$(GO) run ./cmd/rpblint -certify
+
+certify-update:
+	$(GO) run ./cmd/rpblint -certify -write-certs
+
 race:
 	$(GO) test -race ./...
 
@@ -23,13 +32,14 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Scheduler fast-path microbenchmarks (lazy splitting, join frames,
-# park/wake), exported to BENCH_sched.json as benchmark name -> ns/op,
-# allocs/op, splits/op. CI runs this with BENCHTIME=1x as a smoke test
-# so the fast path cannot silently rot; see docs/SCHED.md.
-SCHED_BENCH = BenchmarkSchedFor|BenchmarkSchedJoin|BenchmarkForOverhead|BenchmarkJoinFib|BenchmarkSpawnJoinOverhead|BenchmarkGrainSweep
+# park/wake) plus the check-elision microbenchmark (what a certificate
+# buys; docs/LINT.md), exported to BENCH_sched.json as benchmark name
+# -> ns/op, allocs/op, splits/op. CI runs this with BENCHTIME=1x as a
+# smoke test so the fast path cannot silently rot; see docs/SCHED.md.
+SCHED_BENCH = BenchmarkSchedFor|BenchmarkSchedJoin|BenchmarkForOverhead|BenchmarkJoinFib|BenchmarkSpawnJoinOverhead|BenchmarkGrainSweep|BenchmarkCheckElision
 BENCHTIME ?= 1s
 bench-sched:
-	$(GO) test -run xxx -bench '$(SCHED_BENCH)' -benchmem -benchtime $(BENCHTIME) ./internal/sched/ | $(GO) run ./cmd/benchjson -out BENCH_sched.json
+	$(GO) test -run xxx -bench '$(SCHED_BENCH)' -benchmem -benchtime $(BENCHTIME) ./internal/sched/ ./internal/core/ | $(GO) run ./cmd/benchjson -out BENCH_sched.json
 
 # Regenerate every table and figure at small scale.
 report:

@@ -6,28 +6,37 @@
 // Usage:
 //
 //	rpblint [-root dir] [-json] [-census] [packages...]
+//	rpblint -certify [-write-certs] [-certs file] [packages...]
 //
 // Packages are directory patterns relative to the module root
 // ("./...", "./internal/bench", "examples/..."); with none given the
-// whole module is checked. Exit status: 0 clean, 1 diagnostics found,
-// 2 analysis error.
+// whole module is checked. -certify runs the offset-provenance prover
+// over every certifiable call site and compares the result against the
+// committed certificate file (-write-certs rewrites it instead). Exit
+// status: 0 clean, 1 diagnostics found / stale certificates, 2
+// analysis error.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/lint"
 )
 
 func main() {
 	var (
-		root    = flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
-		asJSON  = flag.Bool("json", false, "emit the full report (census, packages, diagnostics) as JSON")
-		census  = flag.Bool("census", false, "print the static pattern census")
-		verbose = flag.Bool("v", false, "print the per-package scared-construct table")
+		root       = flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
+		asJSON     = flag.Bool("json", false, "emit the full report (census, packages, diagnostics) as JSON")
+		census     = flag.Bool("census", false, "print the static pattern census")
+		verbose    = flag.Bool("v", false, "print the per-package scared-construct table")
+		certify    = flag.Bool("certify", false, "run the offset-provenance certification pass")
+		certsFile  = flag.String("certs", "lint-certs.json", "certificate file, relative to the module root")
+		writeCerts = flag.Bool("write-certs", false, "with -certify: rewrite the certificate file instead of comparing")
 	)
 	flag.Parse()
 
@@ -41,7 +50,12 @@ func main() {
 		}
 	}
 
-	rep, err := lint.Run(lint.Config{Root: r, Dirs: flag.Args()})
+	if *certify {
+		runCertify(r, *certsFile, *writeCerts, flag.Args(), *asJSON)
+		return
+	}
+
+	rep, err := lint.Run(lint.Config{Root: r, Dirs: flag.Args(), CertsFile: certsPath(r, *certsFile)})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rpblint:", err)
 		os.Exit(2)
@@ -77,6 +91,59 @@ func main() {
 	if len(rep.Diags) > 0 {
 		os.Exit(1)
 	}
+}
+
+// certsPath resolves the -certs flag against the module root. The
+// default value maps to the empty string so lint.Run treats a missing
+// file as "no certificates" rather than an error; an explicit -certs
+// must exist.
+func certsPath(root, certs string) string {
+	if certs == "lint-certs.json" {
+		return ""
+	}
+	if filepath.IsAbs(certs) {
+		return certs
+	}
+	return filepath.Join(root, certs)
+}
+
+// runCertify executes the certification pass, then either rewrites the
+// certificate file (-write-certs) or byte-compares it against the
+// committed one and fails when stale.
+func runCertify(root, certs string, write bool, dirs []string, asJSON bool) {
+	rep, err := lint.Certify(lint.Config{Root: root, Dirs: dirs})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpblint:", err)
+		os.Exit(2)
+	}
+	if asJSON {
+		os.Stdout.Write(rep.Marshal())
+	} else {
+		fmt.Print(rep.String())
+	}
+
+	path := certs
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(root, path)
+	}
+	if write {
+		if err := os.WriteFile(path, rep.Marshal(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "rpblint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "rpblint: wrote %s\n", path)
+		return
+	}
+	committed, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpblint: no committed certificate file %s (run rpblint -certify -write-certs)\n", path)
+		os.Exit(1)
+	}
+	if !bytes.Equal(committed, rep.Marshal()) {
+		fmt.Fprintf(os.Stderr, "rpblint: %s is stale (run rpblint -certify -write-certs and commit the result)\n", path)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "rpblint: %s is current\n", path)
 }
 
 // findRoot walks up from the working directory to the nearest go.mod.

@@ -69,9 +69,25 @@ func (s *sortInstance) runLibrary(w *core.Worker) {
 			counts[d*nb+b] = local[d]
 		}
 	})
+	// Bucket boundaries by prefix sum: offsets[d+1] accumulates bucket
+	// d's total over all blocks, and the inclusive scan over offsets[1:]
+	// turns the totals into start positions (offsets[0] stays 0). This
+	// shape — zero-initialized buffer, non-negative pre-scan fill, one
+	// scan, no writes after — is exactly the monotone+bounds provenance
+	// the certifier proves, so the RngInd adapter below runs unchecked
+	// under certificate.
+	offsets := make([]int32, sortBuckets+1)
+	core.ForRange(w, 0, sortBuckets, 0, func(d int) {
+		var t int32
+		for b := 0; b < nb; b++ {
+			t += counts[d*nb+b]
+		}
+		offsets[d+1] = t
+	})
+	total := core.ScanInclusive(w, offsets[1:])
 	core.ScanExclusive(w, counts)
 	// Scatter into bucket order (disjoint cursor ranges per block).
-	buf := make([]uint32, n)
+	buf := make([]uint32, total)
 	core.ForRange(w, 0, nb, 1, func(b int) {
 		lo, hi := b*sortBlock, (b+1)*sortBlock
 		if hi > n {
@@ -87,13 +103,6 @@ func (s *sortInstance) runLibrary(w *core.Worker) {
 			cursor[d]++
 		}
 	})
-	// Bucket boundaries: bucket d starts at counts[d*nb] (cursor of its
-	// first block) and ends at the start of bucket d+1.
-	offsets := make([]int32, sortBuckets+1)
-	for d := 0; d < sortBuckets; d++ {
-		offsets[d] = counts[d*nb]
-	}
-	offsets[sortBuckets] = int32(n)
 	// Sort each bucket through the RngInd adapter.
 	sortChunk := func(_ int, chunk []uint32) {
 		sort.Slice(chunk, func(i, j int) bool { return chunk[i] < chunk[j] })

@@ -1,0 +1,68 @@
+package core
+
+import "testing"
+
+// BenchmarkCheckElision measures exactly what a certificate buys: the
+// same irregular traversal with the dynamic check paid (checked) and
+// elided (certified), for both adapter shapes. The offsets are the
+// certifiable shapes themselves — an affine scatter for SngInd and
+// prefix-sum boundaries for RngInd — so checked/certified compute
+// identical results and the delta is pure check cost (the repo's
+// Fig 5 micro-view; rpbreport -what certs gives the bench-level one).
+func BenchmarkCheckElision(b *testing.B) {
+	const n = 1 << 16
+
+	offsets := make([]int32, n)
+	for i := range offsets {
+		offsets[i] = int32(i)
+	}
+	out := make([]int32, n)
+	body := func(i int, slot *int32) { *slot = int32(i) }
+
+	b.Run("sngind/checked", func(b *testing.B) {
+		on(func(w *Worker) {
+			for i := 0; i < b.N; i++ {
+				if err := IndForEach(w, out, offsets, body); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("sngind/certified", func(b *testing.B) {
+		on(func(w *Worker) {
+			for i := 0; i < b.N; i++ {
+				IndForEachUnchecked(w, out, offsets, body)
+			}
+		})
+	})
+
+	const chunks = 1 << 10
+	boundaries := make([]int32, chunks+1)
+	for d := 0; d < chunks; d++ {
+		boundaries[d+1] = int32(d % 17)
+	}
+	total := ScanInclusive(nil, boundaries[1:])
+	data := make([]int32, total)
+	chunkBody := func(i int, chunk []int32) {
+		for j := range chunk {
+			chunk[j] = int32(i)
+		}
+	}
+
+	b.Run("rngind/checked", func(b *testing.B) {
+		on(func(w *Worker) {
+			for i := 0; i < b.N; i++ {
+				if err := IndChunks(w, data, boundaries, chunkBody); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("rngind/certified", func(b *testing.B) {
+		on(func(w *Worker) {
+			for i := 0; i < b.N; i++ {
+				IndChunksUnchecked(w, data, boundaries, chunkBody)
+			}
+		})
+	})
+}

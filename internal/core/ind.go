@@ -56,7 +56,10 @@ func (e *NonMonotoneError) Error() string {
 // all offsets are in range and mutually distinct. On validation failure
 // it returns an error without invoking f. This run-time check is the
 // price of Comfortable irregular parallelism; the paper reports it can
-// cost up to 2.8x on check-dominated benchmarks (Fig 5a).
+// cost up to 2.8x on check-dominated benchmarks (Fig 5a). When rpblint
+// -certify proves the offsets unique statically, it flags the site
+// elidable-check: the validation duplicates the proof and the call may
+// switch to IndForEachUnchecked.
 func IndForEach[T any, I IndexInt](w *Worker, out []T, offsets []I, f func(i int, slot *T)) error {
 	countDyn(SngInd)
 	if err := checkUniqueOffsets(w, len(out), offsets); err != nil {
@@ -69,6 +72,15 @@ func IndForEach[T any, I IndexInt](w *Worker, out []T, offsets []I, f func(i int
 // IndForEachUnchecked is the unchecked SngInd primitive — the analog of
 // the unsafe-Rust expression. The caller asserts that all offsets are in
 // range and mutually distinct; violations are silent data races (Scared).
+//
+// Certificate obligation (rpblint -certify, docs/LINT.md): a call site
+// is Fearless under certificate when the offsets slice provably holds
+// pairwise-distinct values in [0, len(out)) at the call — accepted
+// proof sources are a core.PackIndex result used unmodified, a
+// complete affine fill offsets[i] = a*i+c with constant a != 0, or an
+// identity fill permuted only by core.Sort/SortBy/radix.SortPairs.
+// Sites without a current certificate must carry a DeclareSite entry
+// or a //lint:scared marker.
 func IndForEachUnchecked[T any, I IndexInt](w *Worker, out []T, offsets []I, f func(i int, slot *T)) {
 	countDyn(SngInd)
 	indForEachBody(w, out, offsets, f)
@@ -127,7 +139,8 @@ func checkUniqueOffsets[I IndexInt](w *Worker, outLen int, offsets []I) error {
 // of the k chunks after validating in parallel that the boundaries are
 // monotonically non-decreasing and within range. The check is O(k) and
 // cheap relative to the chunk work, making Comfortable nearly free
-// (paper Sec 5.1).
+// (paper Sec 5.1). Statically proved sites are flagged elidable-check
+// by rpblint -certify and may switch to IndChunksUnchecked.
 func IndChunks[T any, I IndexInt](w *Worker, out []T, offsets []I, f func(i int, chunk []T)) error {
 	countDyn(RngInd)
 	if len(offsets) == 0 {
@@ -150,6 +163,15 @@ func IndChunks[T any, I IndexInt](w *Worker, out []T, offsets []I, f func(i int,
 
 // IndChunksUnchecked is the unchecked RngInd primitive: the caller
 // asserts boundary monotonicity (Scared).
+//
+// Certificate obligation (rpblint -certify, docs/LINT.md): a call site
+// is Fearless under certificate when offsets provably holds
+// monotonically non-decreasing boundaries within [0, len(out)] —
+// accepted proof sources are a prefix sum (ScanInclusive/ScanExclusive
+// over non-negative values, unmutated between scan and call, with
+// len(out) bound to the scan's returned total) or an ascending affine
+// fill. Sites without a current certificate must carry a DeclareSite
+// entry or a //lint:scared marker.
 func IndChunksUnchecked[T any, I IndexInt](w *Worker, out []T, offsets []I, f func(i int, chunk []T)) {
 	countDyn(RngInd)
 	if len(offsets) == 0 {

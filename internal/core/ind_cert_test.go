@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// The certificate story (rpblint -certify, docs/LINT.md) rests on two
+// claims these tests pin down: the certified offset shapes really are
+// race-free when run unchecked (the race detector agrees), and the
+// dynamic checks they elide really do fire on the shapes the certifier
+// refuses.
+
+func TestOffsetRangeErrorMessage(t *testing.T) {
+	err := IndForEach(nil, make([]int, 10), []int32{0, 1, 12}, func(int, *int) {})
+	var oor *OffsetRangeError
+	if !errors.As(err, &oor) {
+		t.Fatalf("want OffsetRangeError, got %v", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"core.IndForEach", "offsets[2]", "12", "out of range", "length 10"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestNonMonotoneErrorMessage(t *testing.T) {
+	err := IndChunks(nil, make([]int, 50), []int32{0, 30, 20, 50}, func(int, []int) {})
+	var nm *NonMonotoneError
+	if !errors.As(err, &nm) {
+		t.Fatalf("want NonMonotoneError, got %v", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"core.IndChunks", "offsets[1..2]", "[30, 20)", "length 50", "not disjoint"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error message %q missing %q", msg, want)
+		}
+	}
+}
+
+// TestUncheckedCertifiedShapeRaceClean runs the unchecked primitives on
+// offsets of exactly the shapes the certifier proves — an affine fill
+// offsets[i] = 2*i+1 (stride 2, unique by construction) and a prefix
+// sum — under the full worker pool. With -race this asserts the
+// "Fearless under certificate" claim: no synchronization is needed
+// because the proved property makes the element accesses disjoint.
+func TestUncheckedCertifiedShapeRaceClean(t *testing.T) {
+	const n = 4096
+	out := make([]int32, 2*n+1)
+	offsets := make([]int32, n)
+	for i := range offsets {
+		offsets[i] = int32(2*i + 1)
+	}
+	on(func(w *Worker) {
+		IndForEachUnchecked(w, out, offsets, func(i int, slot *int32) { *slot = int32(i) })
+	})
+	for i, off := range offsets {
+		if out[off] != int32(i) {
+			t.Fatalf("out[%d] = %d, want %d", off, out[off], i)
+		}
+	}
+
+	// RngInd: boundaries from a prefix sum over non-negative chunk sizes.
+	sizes := make([]int32, 64)
+	for i := range sizes {
+		sizes[i] = int32(i % 7)
+	}
+	boundaries := make([]int32, len(sizes)+1)
+	copy(boundaries[1:], sizes)
+	total := ScanInclusive(nil, boundaries[1:])
+	chunked := make([]int32, total)
+	on(func(w *Worker) {
+		IndChunksUnchecked(w, chunked, boundaries, func(i int, chunk []int32) {
+			for j := range chunk {
+				chunk[j] = int32(i)
+			}
+		})
+	})
+	for d := 0; d < len(sizes); d++ {
+		for _, v := range chunked[boundaries[d]:boundaries[d+1]] {
+			if v != int32(d) {
+				t.Fatalf("chunk %d contains %d", d, v)
+			}
+		}
+	}
+}
+
+// TestCheckedCatchesUncertifiableShape is the counterpoint: the same
+// scatter with a duplicated offset — the shape the certifier refuses —
+// is caught by the checked primitive before the body runs.
+func TestCheckedCatchesUncertifiableShape(t *testing.T) {
+	const n = 4096
+	out := make([]int32, 2*n+1)
+	offsets := make([]int32, n)
+	for i := range offsets {
+		offsets[i] = int32(2*i + 1)
+	}
+	offsets[100] = offsets[200] // no longer unique: stride proof impossible
+	var err error
+	on(func(w *Worker) {
+		err = IndForEach(w, out, offsets, func(i int, slot *int32) { *slot = int32(i) })
+	})
+	var dup *DuplicateOffsetError
+	if !errors.As(err, &dup) {
+		t.Fatalf("want DuplicateOffsetError, got %v", err)
+	}
+	if dup.Offset != int(offsets[100]) {
+		t.Fatalf("error names offset %d, want %d", dup.Offset, offsets[100])
+	}
+}

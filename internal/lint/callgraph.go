@@ -55,6 +55,8 @@ type analysis struct {
 	census      StaticCensus
 	censusDiags []Diag
 	diags       []Diag
+
+	certs certIndex // proved certificate sites by (file, line)
 }
 
 // report appends a diagnostic, honoring the directory filter.
@@ -165,6 +167,15 @@ func (a *analysis) scanFuncBody(fi *funcInfo) {
 // primitives it reached for).
 func (a *analysis) reachableMask(seeds []*funcInfo) construct {
 	var mask construct
+	for fi := range a.reachableFuncs(seeds) {
+		mask |= fi.mask
+	}
+	return mask
+}
+
+// reachableFuncs returns every function reachable from the seeds
+// through in-module edges, never entering substrate packages.
+func (a *analysis) reachableFuncs(seeds []*funcInfo) map[*funcInfo]bool {
 	visited := map[*funcInfo]bool{}
 	queue := append([]*funcInfo(nil), seeds...)
 	for len(queue) > 0 {
@@ -174,7 +185,6 @@ func (a *analysis) reachableMask(seeds []*funcInfo) construct {
 			continue
 		}
 		visited[fi] = true
-		mask |= fi.mask
 		for _, ref := range fi.calls {
 			for _, pkgPath := range ref.pkgs {
 				pkg, ok := a.pkgs[pkgPath]
@@ -189,7 +199,7 @@ func (a *analysis) reachableMask(seeds []*funcInfo) construct {
 			}
 		}
 	}
-	return mask
+	return visited
 }
 
 // fileFuncs returns the functions declared in one file.

@@ -1,0 +1,318 @@
+package lint
+
+// The certification pass: for every IndForEach / IndChunks / Scatter /
+// *Unchecked call site outside the substrate, run the offset-provenance
+// prover (provenance.go) over type-checked packages (typecheck.go) and
+// emit a certificate record. A proved *Unchecked site is "certified" —
+// the Scared call is Fearless under certificate, and the containment
+// rules accept it without a DeclareSite or marker. A proved *checked*
+// site is "elidable-check": the run-time uniqueness/monotonicity check
+// duplicates what the proof already knows (the paper's Fig 5 cost), so
+// the kernel may switch to the Unchecked variant. Everything else is
+// "refused" with the first reason the prover found.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Certificate statuses.
+const (
+	CertCertified = "certified"
+	CertElidable  = "elidable-check"
+	CertRefused   = "refused"
+)
+
+// CertSite is one examined call site.
+type CertSite struct {
+	File      string   `json:"file"` // relative to the module root
+	Line      int      `json:"line"`
+	Col       int      `json:"col"`
+	Func      string   `json:"func"`      // enclosing function
+	Primitive string   `json:"primitive"` // core.<name>
+	Pattern   string   `json:"pattern"`   // SngInd | RngInd
+	Checked   bool     `json:"checked"`   // pays a run-time check
+	Status    string   `json:"status"`    // certified | elidable-check | refused
+	Property  string   `json:"property,omitempty"`
+	Source    string   `json:"source,omitempty"` // packindex | affine-fill | permutation | scan
+	Proof     []string `json:"proof,omitempty"`
+	Reason    string   `json:"reason,omitempty"`
+	Benches   []string `json:"benches,omitempty"` // benches whose kernels reach this site
+}
+
+func (s CertSite) String() string {
+	head := fmt.Sprintf("%s:%d:%d: core.%s [%s] %s", s.File, s.Line, s.Col, s.Primitive, s.Pattern, s.Status)
+	if s.Status == CertRefused {
+		return head + ": " + s.Reason
+	}
+	out := head + ": " + s.Property + " via " + s.Source
+	if len(s.Benches) > 0 {
+		out += " (benches: " + strings.Join(s.Benches, ", ") + ")"
+	}
+	return out
+}
+
+// CertReport is the machine-readable certificate file (lint-certs.json).
+type CertReport struct {
+	Version   int        `json:"version"`
+	Module    string     `json:"module"`
+	Certified int        `json:"certified"`
+	Elidable  int        `json:"elidable"`
+	Refused   int        `json:"refused"`
+	Sites     []CertSite `json:"sites"`
+}
+
+// Certify runs the certification pass over the module under cfg.Root,
+// restricted by cfg.Dirs.
+func Certify(cfg Config) (*CertReport, error) {
+	a, err := newAnalysis(cfg)
+	if err != nil {
+		return nil, err
+	}
+	a.census = a.extractCensus()
+	return a.certify(), nil
+}
+
+// certify runs the pass over an already-built analysis.
+func (a *analysis) certify() *CertReport {
+	loader := newTypeLoader(a)
+	rep := &CertReport{Version: 1, Module: a.mod}
+
+	declIndex := map[*ast.FuncDecl]*funcInfo{}
+	for _, fis := range a.funcs {
+		for _, fi := range fis {
+			declIndex[fi.decl] = fi
+		}
+	}
+	benchCover := a.benchCoverage()
+
+	for _, pkg := range a.sortedPkgs() {
+		if pkg.role == RoleSubstrate || !a.filter.match(pkg.path) {
+			continue
+		}
+		if !pkgHasCertTargets(pkg) {
+			continue
+		}
+		tp := loader.check(pkg.path)
+		typed := tp != nil && tp.tpkg != nil
+		for _, f := range pkg.files {
+			for _, decl := range f.ast.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				var pr *prover
+				if typed {
+					pr = newProver(a, tp, f, fd)
+				}
+				for _, s := range collectSites(f, fd, pr) {
+					pos := a.fset.Position(s.call.Pos())
+					cs := CertSite{
+						File: f.rel, Line: pos.Line, Col: pos.Column,
+						Func:      fd.Name.Name,
+						Primitive: s.name,
+						Pattern:   s.tgt.pattern.String(),
+						Checked:   s.tgt.checked,
+						Benches:   benchCover[declIndex[fd]],
+					}
+					var proof siteProof
+					if pr == nil {
+						proof = refusal("package %s failed to type-check", pkg.path)
+					} else {
+						proof = pr.prove(s)
+					}
+					if proof.ok {
+						cs.Status = CertElidable
+						if !s.tgt.checked {
+							cs.Status = CertCertified
+						}
+						cs.Property = proof.property
+						cs.Source = proof.source
+						cs.Proof = proof.chain
+					} else {
+						cs.Status = CertRefused
+						cs.Reason = proof.reason
+					}
+					rep.Sites = append(rep.Sites, cs)
+				}
+			}
+		}
+	}
+
+	sort.Slice(rep.Sites, func(i, j int) bool {
+		si, sj := rep.Sites[i], rep.Sites[j]
+		if si.File != sj.File {
+			return si.File < sj.File
+		}
+		if si.Line != sj.Line {
+			return si.Line < sj.Line
+		}
+		return si.Col < sj.Col
+	})
+	for _, s := range rep.Sites {
+		switch s.Status {
+		case CertCertified:
+			rep.Certified++
+		case CertElidable:
+			rep.Elidable++
+		default:
+			rep.Refused++
+		}
+	}
+	return rep
+}
+
+// collectSites gathers the certifiable call sites in one function. The
+// prover (when available) supplies execution contexts; without type
+// information sites are still listed so they can be refused.
+func collectSites(f *fileInfo, fd *ast.FuncDecl, pr *prover) []*targetSite {
+	var sites []*targetSite
+	walkWithPath(fd, func(n ast.Node, path []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		pathStr, name, isPkg := callTarget(f, call)
+		if !isPkg || !isPath(pathStr, corePath) {
+			return
+		}
+		tgt, isTarget := certTargets[name]
+		if !isTarget {
+			return
+		}
+		if len(call.Args) > 0 && isNilIdent(call.Args[0]) {
+			return // sequential oracle use: no parallel check to certify
+		}
+		s := &targetSite{call: call, name: name, tgt: tgt, pos: call.Pos()}
+		if pr != nil {
+			s.ctx = pr.ctxOf(path)
+		}
+		sites = append(sites, s)
+	})
+	return sites
+}
+
+// pkgHasCertTargets reports whether any file of the package calls a
+// certifiable primitive (cheap syntactic pre-filter before the type
+// checker runs).
+func pkgHasCertTargets(pkg *pkgInfo) bool {
+	for _, f := range pkg.files {
+		found := false
+		ast.Inspect(f.ast, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pathStr, name, isPkg := callTarget(f, call); isPkg && isPath(pathStr, corePath) {
+				if _, isTarget := certTargets[name]; isTarget {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// benchCoverage maps each function to the sorted list of benches whose
+// declaring files reach it through the in-module call graph.
+func (a *analysis) benchCoverage() map[*funcInfo][]string {
+	fileByRel := map[string]*fileInfo{}
+	for _, pkg := range a.pkgs {
+		for _, f := range pkg.files {
+			fileByRel[f.rel] = f
+		}
+	}
+	benchFiles := map[string]map[*fileInfo]bool{}
+	for _, s := range a.census.Sites {
+		f := fileByRel[s.File]
+		if f == nil {
+			continue
+		}
+		if benchFiles[s.Bench] == nil {
+			benchFiles[s.Bench] = map[*fileInfo]bool{}
+		}
+		benchFiles[s.Bench][f] = true
+	}
+	cover := map[*funcInfo][]string{}
+	benches := make([]string, 0, len(benchFiles))
+	for b := range benchFiles {
+		benches = append(benches, b)
+	}
+	sort.Strings(benches)
+	for _, b := range benches {
+		var seeds []*funcInfo
+		for f := range benchFiles[b] {
+			seeds = append(seeds, a.fileFuncs(f)...)
+		}
+		for fi := range a.reachableFuncs(seeds) {
+			cover[fi] = append(cover[fi], b)
+		}
+	}
+	return cover
+}
+
+// Marshal renders the report as the canonical lint-certs.json bytes.
+func (r *CertReport) Marshal() []byte {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil
+	}
+	return append(b, '\n')
+}
+
+// String renders the per-site table and summary rpblint -certify prints.
+func (r *CertReport) String() string {
+	var sb strings.Builder
+	for _, s := range r.Sites {
+		sb.WriteString(s.String())
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "certify: %d certified, %d elidable-check, %d refused\n",
+		r.Certified, r.Elidable, r.Refused)
+	return sb.String()
+}
+
+// LoadCerts reads a certificate file.
+func LoadCerts(path string) (*CertReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r CertReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("lint: bad certificate file %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// certIndex indexes proved sites by (file, line) for the containment
+// rules.
+type certIndex map[string]map[int]bool
+
+func (r *CertReport) index() certIndex {
+	idx := certIndex{}
+	for _, s := range r.Sites {
+		if s.Status == CertRefused {
+			continue
+		}
+		if idx[s.File] == nil {
+			idx[s.File] = map[int]bool{}
+		}
+		idx[s.File][s.Line] = true
+	}
+	return idx
+}
+
+// certCovered reports whether a current certificate proves the site at
+// (file, line).
+func (a *analysis) certCovered(rel string, line int) bool {
+	return a.certs != nil && a.certs[rel][line]
+}

@@ -142,11 +142,15 @@ type Config struct {
 	// Dirs restricts analysis to these directories (relative to Root).
 	// Empty means the whole module.
 	Dirs []string
+	// CertsFile points at a lint-certs.json whose proved sites the
+	// containment rules accept. Empty means <Root>/lint-certs.json,
+	// loaded when present.
+	CertsFile string
 }
 
-// Run analyzes the module under cfg.Root and returns the census, the
-// per-package scared-construct stats, and all diagnostics.
-func Run(cfg Config) (*Report, error) {
+// newAnalysis parses the module under cfg.Root and builds the function
+// index — the shared front half of Run and Certify.
+func newAnalysis(cfg Config) (*analysis, error) {
 	root := cfg.Root
 	if root == "" {
 		root = "."
@@ -158,12 +162,10 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-
 	pkgs, fset, err := parseModule(root)
 	if err != nil {
 		return nil, err
 	}
-
 	a := &analysis{
 		fset:   fset,
 		mod:    mod,
@@ -171,6 +173,47 @@ func Run(cfg Config) (*Report, error) {
 		filter: newDirFilter(cfg.Dirs),
 	}
 	a.buildIndex()
+	return a, nil
+}
+
+// loadCertIndex loads the certificate file the containment rules
+// consult. An explicitly configured path must parse; the default path
+// is best-effort (no certificates simply means no coverage — `make
+// certify` is what keeps the committed file honest).
+func (a *analysis) loadCertIndex(cfg Config) error {
+	root := cfg.Root
+	if root == "" {
+		root = "."
+	}
+	path := cfg.CertsFile
+	explicit := path != ""
+	if !explicit {
+		path = filepath.Join(root, "lint-certs.json")
+	}
+	certs, err := LoadCerts(path)
+	if err != nil {
+		if !explicit && os.IsNotExist(err) {
+			return nil
+		}
+		if !explicit {
+			return fmt.Errorf("lint: unreadable %s (regenerate with rpblint -certify -write-certs): %w", path, err)
+		}
+		return err
+	}
+	a.certs = certs.index()
+	return nil
+}
+
+// Run analyzes the module under cfg.Root and returns the census, the
+// per-package scared-construct stats, and all diagnostics.
+func Run(cfg Config) (*Report, error) {
+	a, err := newAnalysis(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.loadCertIndex(cfg); err != nil {
+		return nil, err
+	}
 
 	rep := &Report{}
 	a.census = a.extractCensus()
@@ -187,6 +230,9 @@ func Run(cfg Config) (*Report, error) {
 		}
 		if di.Line != dj.Line {
 			return di.Line < dj.Line
+		}
+		if di.Col != dj.Col {
+			return di.Col < dj.Col
 		}
 		return di.Rule < dj.Rule
 	})

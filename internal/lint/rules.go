@@ -90,10 +90,15 @@ func (a *analysis) checkBenchFile(f *fileInfo) {
 	}
 
 	// A scared construct is contained when the file declares some
-	// irregular site (the declaration is the audit record) or the
-	// construct carries an explicit marker.
+	// irregular site (the declaration is the audit record), the
+	// construct carries an explicit marker, or a current certificate
+	// proves the site safe (certified / elidable-check in
+	// lint-certs.json).
 	contained := func(n ast.Node) bool {
-		return anyIrregular || a.markerFor(f, n)
+		if anyIrregular || a.markerFor(f, n) {
+			return true
+		}
+		return a.certCovered(f.rel, a.fset.Position(n.Pos()).Line)
 	}
 	scared := func(n ast.Node, what string, pattern core.Pattern) {
 		if contained(n) {
@@ -220,6 +225,9 @@ func (a *analysis) checkExampleFile(f *fileInfo) {
 			return true
 		}
 		pos := a.fset.Position(call.Pos())
+		if a.certCovered(f.rel, pos.Line) {
+			return true // proved unique/monotone: Fearless under certificate
+		}
 		a.report(Diag{
 			File: f.rel, Line: pos.Line, Col: pos.Column,
 			Rule:    "unchecked-in-example",

@@ -10,7 +10,7 @@ func main() {
 	dst := make([]uint32, 4)
 	pos := []int{3, 1, 0, 2}
 	core.Run(func(w *core.Worker) {
-		core.IndForEachUnchecked(w, dst, pos, func(slot *uint32, i int) {
+		core.IndForEachUnchecked(w, dst, pos, func(i int, slot *uint32) {
 			*slot = uint32(i)
 		})
 	})

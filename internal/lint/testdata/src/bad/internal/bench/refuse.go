@@ -1,0 +1,70 @@
+// The negative certification fixtures: offset shapes that look close
+// to certifiable but break one obligation each. Every site here must
+// come back "refused" — in particular none may be flagged
+// elidable-check — and the DeclareSite entries below keep the lint
+// rules themselves quiet so the certify golden isolates the prover.
+package bench
+
+import (
+	"fixture/internal/core"
+)
+
+// refusePackMutated: a PackIndex result is no longer trustworthy after
+// an element write.
+func refusePackMutated(w *core.Worker, src []uint32) []uint32 {
+	keep := core.PackIndex(w, len(src), func(i int) bool { return src[i] > 0 })
+	keep[0] = 0
+	out := make([]uint32, len(src))
+	core.IndForEachUnchecked(w, out, keep, func(i int, slot *uint32) { *slot = 1 })
+	return out
+}
+
+// refuseStrideZero: a complete fill whose affine form has stride 0 —
+// every element gets the same value, so offsets repeat.
+func refuseStrideZero(w *core.Worker, n int) []uint32 {
+	dst := make([]uint32, n)
+	off := make([]int32, n)
+	core.ForRange(w, 0, n, 0, func(i int) { off[i] = 7 })
+	core.IndForEachUnchecked(w, dst, off, func(i int, slot *uint32) { *slot = uint32(i) })
+	return dst
+}
+
+// refuseSortedScan: scan output re-sorted before use — sorting keeps
+// the values but the paired chunks no longer mean what the scan proved.
+func refuseSortedScan(w *core.Worker, n int) []uint32 {
+	offsets := make([]int32, n+1)
+	core.ForRange(w, 0, n, 0, func(d int) {
+		var t int32
+		t++
+		offsets[d+1] = t
+	})
+	total := core.ScanInclusive(w, offsets[1:])
+	core.Sort(w, offsets)
+	out := make([]uint32, total)
+	core.IndChunksUnchecked(w, out, offsets, func(i int, chunk []uint32) {
+		for j := range chunk {
+			chunk[j] = uint32(i)
+		}
+	})
+	return out
+}
+
+// refuseAliased: the offsets escape through a second slice header, so
+// writes through the alias are invisible to the per-object analysis.
+func refuseAliased(w *core.Worker, n int) []uint32 {
+	dst := make([]uint32, n)
+	off := make([]int32, n)
+	core.ForRange(w, 0, n, 0, func(i int) { off[i] = int32(i) })
+	alias := off
+	alias[0] = int32(n - 1)
+	core.IndForEachUnchecked(w, dst, off, func(i int, slot *uint32) { *slot = uint32(i) })
+	return dst
+}
+
+func init() {
+	core.DeclareSite("refuse", "pack offsets build", core.Block)
+	core.DeclareSite("refuse", "affine-ish fills", core.Stride)
+	core.DeclareSite("refuse", "offset sort", core.DC)
+	core.DeclareSite("refuse", "refused scatter", core.SngInd)
+	core.DeclareSite("refuse", "refused chunks", core.RngInd)
+}

@@ -13,7 +13,7 @@ func undeclaredKernel(w *core.Worker, dst, src []uint32, pos []int) {
 	core.ForRange(w, 0, len(src), 0, func(i int) {
 		dst[i] = src[i]
 	})
-	core.IndForEachUnchecked(w, dst, pos, func(slot *uint32, i int) {
+	core.IndForEachUnchecked(w, dst, pos, func(i int, slot *uint32) {
 		*slot = src[i]
 	})
 }

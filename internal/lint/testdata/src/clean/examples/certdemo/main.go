@@ -1,0 +1,23 @@
+// Certdemo holds an unchecked scatter in an example — normally the
+// unchecked-in-example rule forbids that outright, but this site's
+// offsets are an affine fill the certifier proves, and the module's
+// committed lint-certs.json covers the call: Fearless under
+// certificate, so the example stays clean. It also exercises the
+// prover's core.Run transparency (the closure runs exactly once on the
+// caller's behalf) and len() canonicalization through two slice
+// headers.
+package main
+
+import (
+	"fixture/internal/core"
+)
+
+func main() {
+	dst := make([]uint32, 1024)
+	off := make([]int32, len(dst))
+	core.Run(func(w *core.Worker) {
+		core.ForRange(w, 0, len(off), 0, func(i int) { off[i] = int32(i) })
+		core.IndForEachUnchecked(w, dst, off, func(i int, slot *uint32) { *slot = uint32(i) })
+	})
+	_ = dst
+}

@@ -1,0 +1,76 @@
+// The positive certification fixtures: one function per proof form the
+// offset-provenance prover accepts (docs/LINT.md "Certification").
+// Every unchecked call here must come back "certified" and the checked
+// scatter "elidable-check"; a refusal is a prover regression.
+package bench
+
+import (
+	"fixture/internal/core"
+)
+
+// certPack — proof form P1: offsets are a core.PackIndex result used
+// unmodified, and the target length equals the packed index space.
+func certPack(w *core.Worker, src []uint32) []uint32 {
+	keep := core.PackIndex(w, len(src), func(i int) bool { return src[i]&1 == 0 })
+	out := make([]uint32, len(src))
+	core.IndForEachUnchecked(w, out, keep, func(i int, slot *uint32) { *slot = 1 })
+	return out
+}
+
+// certAffine — proof form P2: a complete affine fill off[i] = i over
+// [0, len(off)) with stride 1. The checked call proves too, which the
+// certifier reports as elidable-check.
+func certAffine(w *core.Worker, n int) []uint32 {
+	dst := make([]uint32, n)
+	off := make([]int32, n)
+	core.ForRange(w, 0, n, 0, func(i int) { off[i] = int32(i) })
+	if err := core.IndForEach(w, dst, off, func(i int, slot *uint32) { *slot = uint32(i) }); err != nil {
+		panic(err)
+	}
+	core.IndForEachUnchecked(w, dst, off, func(i int, slot *uint32) { *slot = uint32(i) + 1 })
+	return dst
+}
+
+// certPermuted — proof form P3: an identity fill whose only subsequent
+// mutation is a sort, so the slice stays a permutation of [0, n).
+func certPermuted(w *core.Worker, n int) []uint32 {
+	out := make([]uint32, n)
+	perm := make([]int32, n)
+	core.ForRange(w, 0, n, 0, func(i int) { perm[i] = int32(i) })
+	core.SortBy(w, perm, func(a, b int32) bool { return a&7 < b&7 })
+	core.IndForEachUnchecked(w, out, perm, func(i int, slot *uint32) { *slot = uint32(i) })
+	return out
+}
+
+// certScan — proof form P4: chunk boundaries from an inclusive prefix
+// sum over non-negative counts accumulated into a zero-initialized
+// buffer, with the target sized by the scan's returned total.
+func certScan(w *core.Worker, vals []uint32) []uint32 {
+	const buckets = 8
+	offsets := make([]int32, buckets+1)
+	core.ForRange(w, 0, buckets, 0, func(d int) {
+		var t int32
+		for i := 0; i < len(vals); i++ {
+			if int(vals[i]%buckets) == d {
+				t++
+			}
+		}
+		offsets[d+1] = t
+	})
+	total := core.ScanInclusive(w, offsets[1:])
+	out := make([]uint32, total)
+	core.IndChunksUnchecked(w, out, offsets, func(i int, chunk []uint32) {
+		for j := range chunk {
+			chunk[j] = uint32(i)
+		}
+	})
+	return out
+}
+
+func init() {
+	core.DeclareSite("cert", "pack offsets build", core.Block)
+	core.DeclareSite("cert", "affine fill", core.Stride)
+	core.DeclareSite("cert", "permutation sort", core.DC)
+	core.DeclareSite("cert", "certified scatter", core.SngInd)
+	core.DeclareSite("cert", "certified chunks", core.RngInd)
+}

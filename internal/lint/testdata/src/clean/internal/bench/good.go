@@ -11,7 +11,7 @@ func goodKernel(w *core.Worker, dst, src []uint32, pos []int) {
 	core.ForRange(w, 0, len(src), 0, func(i int) {
 		dst[i] = src[i]
 	})
-	core.IndForEachUnchecked(w, dst, pos, func(slot *uint32, i int) {
+	core.IndForEachUnchecked(w, dst, pos, func(i int, slot *uint32) {
 		*slot = src[i]
 	})
 }

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/lint"
+)
+
+// Certs renders the certification report (rpbreport -what certs). The
+// first table counts, per bench, the irregular call sites a current
+// certificate covers — certified sites run unchecked under proof,
+// elidable-check sites pay a dynamic check the proof makes redundant —
+// against the sites still relying on run-time validation or a
+// DeclareSite audit. The second table measures what elision buys: for
+// every bench with a certified site, the checked-mode vs unchecked-mode
+// wall time, i.e. the Fig 5 check cost a certificate removes without
+// giving up the safety argument.
+func Certs(w io.Writer, cfg Fig5Config) error {
+	if cfg.Reps < 1 {
+		cfg.Reps = 1
+	}
+	if cfg.Threads < 1 {
+		cfg.Threads = 4
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		return err
+	}
+	rep, err := lint.Certify(lint.Config{Root: root})
+	if err != nil {
+		return err
+	}
+
+	type row struct{ certified, elidable, dynamic int }
+	rows := map[string]*row{}
+	for _, s := range rep.Sites {
+		for _, b := range s.Benches {
+			r := rows[b]
+			if r == nil {
+				r = &row{}
+				rows[b] = r
+			}
+			switch s.Status {
+			case lint.CertCertified:
+				r.certified++
+			case lint.CertElidable:
+				r.elidable++
+			default:
+				r.dynamic++
+			}
+		}
+	}
+	benches := make([]string, 0, len(rows))
+	for b := range rows {
+		benches = append(benches, b)
+	}
+	sort.Strings(benches)
+
+	fmt.Fprintf(w, "Certification: statically proved vs dynamically checked irregular sites\n")
+	fmt.Fprintf(w, "(%d certified, %d elidable-check, %d refused module-wide; see lint-certs.json)\n",
+		rep.Certified, rep.Elidable, rep.Refused)
+	fmt.Fprintf(w, "%-8s %10s %10s %10s\n", "bench", "certified", "elidable", "dynamic")
+	for _, b := range benches {
+		r := rows[b]
+		fmt.Fprintf(w, "%-8s %10d %10d %10d\n", b, r.certified, r.elidable, r.dynamic)
+	}
+
+	fmt.Fprintf(w, "\nCheck cost elided by certificates at %d threads (cf. Fig 5a)\n", cfg.Threads)
+	fmt.Fprintf(w, "%-8s %14s %14s %10s\n", "bench", "checked(s)", "certified(s)", "ratio")
+	for _, name := range benches {
+		if rows[name].certified == 0 {
+			continue
+		}
+		spec, err := bench.Find(name)
+		if err != nil {
+			return err
+		}
+		inst := spec.Make(spec.Inputs[0], cfg.Scale)
+		core.SetMode(core.ModeChecked)
+		ch, err := bench.Measure(inst, bench.VariantLibrary, cfg.Threads, cfg.Reps)
+		if err != nil {
+			core.SetMode(core.ModeUnchecked)
+			return fmt.Errorf("%s checked: %w", name, err)
+		}
+		core.SetMode(core.ModeUnchecked)
+		un, err := bench.Measure(inst, bench.VariantLibrary, cfg.Threads, cfg.Reps)
+		if err != nil {
+			return fmt.Errorf("%s certified: %w", name, err)
+		}
+		fmt.Fprintf(w, "%-8s %14.4f %14.4f %10.2f\n", name, ch, un, ch/un)
+	}
+	fmt.Fprintln(w, "(certified mode = unchecked under certificate: same code the proof covers)")
+	return nil
+}

@@ -42,7 +42,20 @@ func ArrayOpts(w *core.Worker, s []byte, checked bool) []int32 {
 		keys[i] = uint64(s[i])
 	})
 	radix.SortPairs(w, keys, sa, 8)
-	distinct := assignRanks(w, keys, sa, rank, rvals, checked)
+	distinct := rankValues(w, keys, rvals)
+	// Scatter ranks through the sa permutation — SngInd: independence is
+	// an algorithmic guarantee no dynamic checker sees cheaply (paper
+	// Sec 5.1), but the certifier proves it from provenance: sa is an
+	// identity fill permuted only by radix.SortPairs, so its elements are
+	// exactly {0..n-1} and the unchecked scatter is Fearless under
+	// certificate.
+	if checked {
+		if err := core.IndForEach(w, rank, sa, func(j int, slot *int32) { *slot = rvals[j] }); err != nil {
+			panic("suffix: sa permutation violated: " + err.Error())
+		}
+	} else {
+		core.IndForEachUnchecked(w, rank, sa, func(j int, slot *int32) { *slot = rvals[j] })
+	}
 	rankBits := radix.BitsFor(uint64(n))
 	for k := 1; k < n && !distinct; k *= 2 {
 		// Build combined keys (rank, rank+k) for the suffixes in current
@@ -57,16 +70,26 @@ func ArrayOpts(w *core.Worker, s []byte, checked bool) []int32 {
 			keys[j] = hi<<(rankBits+1) | lo
 		})
 		radix.SortPairs(w, keys, sa, 2*(rankBits+1))
-		distinct = assignRanks(w, keys, sa, rank, rvals, checked)
+		distinct = rankValues(w, keys, rvals)
+		if checked {
+			if err := core.IndForEach(w, rank, sa, func(j int, slot *int32) { *slot = rvals[j] }); err != nil {
+				panic("suffix: sa permutation violated: " + err.Error())
+			}
+		} else {
+			core.IndForEachUnchecked(w, rank, sa, func(j int, slot *int32) { *slot = rvals[j] })
+		}
 	}
 	return sa
 }
 
-// assignRanks computes rank[sa[j]] from sorted keys: equal keys share a
-// rank equal to the position of their first occurrence. It reports
-// whether all ranks came out distinct (every position is a boundary).
-// rvals is scratch of length n.
-func assignRanks(w *core.Worker, keys []uint64, sa, rank, rvals []int32, checked bool) bool {
+// rankValues computes, into rvals, the rank value for each sorted
+// position j: equal keys share a rank equal to the position of their
+// first occurrence. It reports whether all ranks came out distinct
+// (every position is a boundary). The caller scatters rvals through
+// the sa permutation into rank order; keeping that scatter at the call
+// site (rather than passing sa here) is what lets the certifier see
+// sa's provenance whole.
+func rankValues(w *core.Worker, keys []uint64, rvals []int32) bool {
 	n := len(keys)
 	flags := rvals
 	boundaries := int64(1) // position 0
@@ -100,15 +123,6 @@ func assignRanks(w *core.Worker, keys []uint64, sa, rank, rvals []int32, checked
 		// rvals aliases flags, so the exclusive-scan value is already in
 		// place for non-boundary positions.
 	})
-	// Scatter ranks through the sa permutation — SngInd: independence is
-	// an algorithmic guarantee no checker sees (paper Sec 5.1).
-	if checked {
-		if err := core.IndForEach(w, rank, sa, func(j int, slot *int32) { *slot = rvals[j] }); err != nil {
-			panic("suffix: sa permutation violated: " + err.Error())
-		}
-	} else {
-		core.IndForEachUnchecked(w, rank, sa, func(j int, slot *int32) { *slot = rvals[j] })
-	}
 	return boundaries == int64(n)
 }
 
