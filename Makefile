@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test lint certify certify-update race bench bench-sched report figures inputs clean
+.PHONY: build test lint certify certify-update race bench bench-sched bench-mem bench-mem-gate report figures inputs clean
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,20 @@ SCHED_BENCH = BenchmarkSchedFor|BenchmarkSchedJoin|BenchmarkForOverhead|Benchmar
 BENCHTIME ?= 1s
 bench-sched:
 	$(GO) test -run xxx -bench '$(SCHED_BENCH)' -benchmem -benchtime $(BENCHTIME) ./internal/sched/ ./internal/core/ | $(GO) run ./cmd/benchjson -out BENCH_sched.json
+
+# Steady-state allocation benchmarks (bench_mem_test.go): per-round
+# allocs/op and B/op of every converted kernel and sequence primitive,
+# exported to BENCH_mem.json. bench-mem-gate reruns them into a scratch
+# file and diffs allocs/op against the committed BENCH_mem.json with
+# `benchjson -gate` (tolerance new > old*1.30+2), failing on any
+# regression — the alloc-regression gate in CI (docs/MEMORY.md).
+MEM_BENCH = BenchmarkMem
+bench-mem:
+	$(GO) test -run xxx -bench '$(MEM_BENCH)' -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson -out BENCH_mem.json
+
+bench-mem-gate:
+	$(GO) test -run xxx -bench '$(MEM_BENCH)' -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson -out BENCH_mem.gate.json -gate BENCH_mem.json
+	rm -f BENCH_mem.gate.json
 
 # Regenerate every table and figure at small scale.
 report:

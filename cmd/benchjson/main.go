@@ -9,6 +9,14 @@
 //
 // A FAIL anywhere in the stream (or a stream with no benchmark lines)
 // makes benchjson exit non-zero so piped CI steps cannot silently pass.
+//
+// With -gate <baseline.json>, benchjson additionally diffs the run's
+// allocs/op against a committed baseline and exits non-zero when any
+// benchmark regresses past the tolerance (new > old*1.30 + 2 — the
+// slack absorbs lazy-splitting noise on loaded CI hosts while catching
+// every real "this hot path allocates again" regression) or when a
+// baseline benchmark is missing from the run. This is the
+// alloc-regression gate behind `make bench-mem-gate` (docs/MEMORY.md).
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -41,8 +50,46 @@ func stripProcSuffix(name string) string {
 	return strings.TrimSuffix(name, suffix)
 }
 
+// gateTolerance reports whether a fresh allocs/op value regresses past
+// the gate's tolerance relative to the baseline value.
+func gateTolerance(old, new float64) bool {
+	return new > old*1.30+2
+}
+
+// runGate compares the run's allocs/op against the baseline file and
+// returns the list of violations.
+func runGate(baselinePath string, results map[string]map[string]float64) ([]string, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	baseline := map[string]map[string]float64{}
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	var bad []string
+	for name, oldM := range baseline {
+		old, tracked := oldM["allocs_op"]
+		if !tracked {
+			continue
+		}
+		newM, ok := results[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: in baseline %s but missing from this run", name, baselinePath))
+			continue
+		}
+		if new, ok := newM["allocs_op"]; ok && gateTolerance(old, new) {
+			bad = append(bad, fmt.Sprintf("%s: allocs/op regressed %v -> %v (tolerance %.0f)",
+				name, old, new, old*1.30+2))
+		}
+	}
+	sort.Strings(bad)
+	return bad, nil
+}
+
 func main() {
 	out := flag.String("out", "BENCH_sched.json", "output JSON path")
+	gate := flag.String("gate", "", "baseline JSON to diff allocs/op against; regressions past old*1.30+2 fail")
 	flag.Parse()
 
 	results := map[string]map[string]float64{}
@@ -98,4 +145,20 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+
+	if *gate != "" {
+		bad, err := runGate(*gate, results)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: %v\n", err)
+			os.Exit(1)
+		}
+		if len(bad) > 0 {
+			for _, b := range bad {
+				fmt.Fprintf(os.Stderr, "benchjson: gate: %s\n", b)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %d allocation regression(s) vs %s\n", len(bad), *gate)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate clean vs %s\n", *gate)
+	}
 }

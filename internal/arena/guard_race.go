@@ -1,0 +1,23 @@
+//go:build race
+
+package arena
+
+import "sync/atomic"
+
+// guard refuses concurrent arena-metadata use in -race builds: an arena
+// is owner-only, so two goroutines inside Alloc/Release/Reset at once
+// means the *Arena was handed across workers. The busy flag turns that
+// into a deterministic panic (race-detector-adjacent, but also catches
+// overlaps the detector's schedule never produces). Non-race builds
+// compile this to nothing (guard_norace.go).
+type guard struct {
+	flag atomic.Int32
+}
+
+func (g *guard) enter() {
+	if !g.flag.CompareAndSwap(0, 1) {
+		panic("arena: concurrent use of an owner-only arena (cross-worker handoff?)")
+	}
+}
+
+func (g *guard) exit() { g.flag.Store(0) }

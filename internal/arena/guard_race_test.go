@@ -1,0 +1,20 @@
+//go:build race
+
+package arena
+
+import "testing"
+
+// In -race builds the busy flag must refuse overlapping metadata use:
+// a second enter before the first exit is exactly the shape a
+// cross-worker arena handoff produces.
+func TestGuardRefusesConcurrentUse(t *testing.T) {
+	a := &Arena{}
+	a.busy.enter()
+	defer a.busy.exit()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping guard enter did not panic under -race")
+		}
+	}()
+	a.busy.enter()
+}

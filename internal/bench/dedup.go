@@ -18,21 +18,31 @@ import (
 
 type dedupInstance struct {
 	keys     []uint32
-	distinct int // result of the last run
+	table    *hashtable.Set // built once, Reset between rounds
+	idx      []int32        // round-persistent pack destination
+	out      []uint64       // round-persistent extraction buffer
+	distinct int            // result of the last run
 	want     int
 }
 
+func (d *dedupInstance) reset() {
+	d.table.Reset()
+}
+
 func (d *dedupInstance) runLibrary(w *core.Worker) {
-	table := hashtable.NewSet(len(d.keys))
+	table := d.table
 	core.ForRange(w, 0, len(d.keys), 0, func(i int) {
 		table.Insert(uint64(d.keys[i]))
 	})
-	// Extract distinct keys with a pack over the table's slots (Block).
-	idx := core.PackIndex(w, table.Capacity(), func(i int) bool {
+	// Extract distinct keys with a pack over the table's slots (Block)
+	// into the instance's reused destination buffers.
+	d.idx = core.PackIndexInto(w, table.Capacity(), func(i int) bool {
 		_, ok := table.SlotKey(i)
 		return ok
-	})
-	out := make([]uint64, len(idx))
+	}, d.idx)
+	idx := d.idx
+	d.out = core.EnsureLen(d.out, len(idx))
+	out := d.out
 	core.ForRange(w, 0, len(idx), 0, func(i int) {
 		k, _ := table.SlotKey(int(idx[i]))
 		out[i] = k
@@ -117,10 +127,12 @@ func init() {
 				seen[k] = true
 			}
 			d := &dedupInstance{keys: keys, want: len(seen)}
+			d.table = hashtable.NewSet(len(keys))
 			return &Instance{
 				RunLibrary: d.runLibrary,
 				RunDirect:  d.runDirect,
 				Verify:     d.verify,
+				Reset:      d.reset,
 			}
 		},
 	})

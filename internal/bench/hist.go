@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/seqgen"
 )
@@ -69,23 +70,29 @@ func (h *histInstance) runLibrary(w *core.Worker) {
 		return
 	}
 	// Blocked private histograms (Block), merged per bucket (Stride).
+	// The block-local histograms are one flat arena checkout — chunk ci
+	// owns locals[ci*histBuckets:(ci+1)*histBuckets], cleared by the
+	// chunk that owns it — so the steady-state round allocates nothing.
 	n := len(h.keys)
 	nb := (n + histBlockSize - 1) / histBlockSize
-	locals := make([][]int64, nb)
+	a := arena.Of(w)
+	m := a.Mark()
+	locals := arena.AllocUninit[int64](a, nb*histBuckets)
 	core.Chunks(w, h.keys, histBlockSize, func(ci int, chunk []uint32) {
-		local := make([]int64, histBuckets)
+		local := locals[ci*histBuckets : (ci+1)*histBuckets]
+		clear(local)
 		for _, k := range chunk {
 			local[int(k)%histBuckets]++
 		}
-		locals[ci] = local
 	})
 	core.ForRange(w, 0, histBuckets, 0, func(b int) {
 		var total int64
 		for ci := 0; ci < nb; ci++ {
-			total += locals[ci][b]
+			total += locals[ci*histBuckets+b]
 		}
 		h.counts[b] = total
 	})
+	a.Release(m)
 }
 
 // runDirect is the hand-rolled baseline: per-thread private histograms.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/seqgen"
 )
@@ -32,72 +33,118 @@ type isortInstance struct {
 
 func (s *isortInstance) reset() { copy(s.keys, s.orig) }
 
+// Phases of isortPass.
+const (
+	isortPhaseCount uint8 = iota
+	isortPhasePositions
+)
+
+// isortPass is the reusable per-pass loop body: phase isortPhaseCount
+// histograms each block's digits into the digit-major count matrix;
+// phase isortPhasePositions (after the matrix has been scanned into
+// cursors) records every element's destination. A box, so steady-state
+// passes build no closures.
+type isortPass struct {
+	keys   []uint32
+	pos    []int32
+	counts []int32
+	n, nb  int
+	shift  uint
+	phase  uint8
+}
+
+func (p *isortPass) RunRange(_ *core.Worker, blo, bhi int) {
+	for b := blo; b < bhi; b++ {
+		lo, hi := b*isortBlock, (b+1)*isortBlock
+		if hi > p.n {
+			hi = p.n
+		}
+		if p.phase == isortPhaseCount {
+			var local [isortRadix]int32
+			for i := lo; i < hi; i++ {
+				local[(p.keys[i]>>p.shift)&(isortRadix-1)]++
+			}
+			for d := 0; d < isortRadix; d++ {
+				p.counts[d*p.nb+b] = local[d]
+			}
+		} else {
+			var cursor [isortRadix]int32
+			for d := 0; d < isortRadix; d++ {
+				cursor[d] = p.counts[d*p.nb+b]
+			}
+			for i := lo; i < hi; i++ {
+				d := (p.keys[i] >> p.shift) & (isortRadix - 1)
+				p.pos[i] = cursor[d]
+				cursor[d]++
+			}
+		}
+	}
+}
+
 // isortPositions computes, for one digit pass, the destination position
-// of every element (stable counting order) into pos.
-func isortPositions(w *core.Worker, keys []uint32, pos []int32, shift uint) {
-	n := len(keys)
-	nb := (n + isortBlock - 1) / isortBlock
-	counts := make([]int32, isortRadix*nb)
-	core.ForRange(w, 0, nb, 1, func(b int) {
-		lo, hi := b*isortBlock, (b+1)*isortBlock
-		if hi > n {
-			hi = n
-		}
-		var local [isortRadix]int32
-		for i := lo; i < hi; i++ {
-			local[(keys[i]>>shift)&(isortRadix-1)]++
-		}
-		for d := 0; d < isortRadix; d++ {
-			counts[d*nb+b] = local[d]
-		}
-	})
-	core.ScanExclusive(w, counts)
-	core.ForRange(w, 0, nb, 1, func(b int) {
-		lo, hi := b*isortBlock, (b+1)*isortBlock
-		if hi > n {
-			hi = n
-		}
-		var cursor [isortRadix]int32
-		for d := 0; d < isortRadix; d++ {
-			cursor[d] = counts[d*nb+b]
-		}
-		for i := lo; i < hi; i++ {
-			d := (keys[i] >> shift) & (isortRadix - 1)
-			pos[i] = cursor[d]
-			cursor[d]++
-		}
-	})
+// of every element (stable counting order) into p.pos.
+func isortPositions(w *core.Worker, p *isortPass, keys []uint32, shift uint) {
+	p.keys, p.shift = keys, shift
+	p.phase = isortPhaseCount
+	core.CountDynamic(core.Block)
+	if w == nil || p.nb <= 1 {
+		p.RunRange(nil, 0, p.nb)
+	} else {
+		w.ForBody(0, p.nb, 1, p)
+	}
+	core.ScanExclusive(w, p.counts)
+	p.phase = isortPhasePositions
+	core.CountDynamic(core.Stride)
+	if w == nil || p.nb <= 1 {
+		p.RunRange(nil, 0, p.nb)
+	} else {
+		w.ForBody(0, p.nb, 1, p)
+	}
 }
 
 func (s *isortInstance) runLibrary(w *core.Worker) {
 	n := len(s.keys)
-	pos := make([]int32, n)
-	buf := make([]uint32, n)
+	nb := (n + isortBlock - 1) / isortBlock
+	// Round scratch: positions, ping-pong buffer, and the count matrix
+	// all come from the worker's arena; the pass body rides a box.
+	a := arena.Of(w)
+	am := a.Mark()
+	pos := arena.AllocUninit[int32](a, n)
+	buf := arena.AllocUninit[uint32](a, n)
+	pass := arena.AcquireBox[isortPass](w)
+	pass.pos = pos
+	pass.counts = arena.AllocUninit[int32](a, isortRadix*nb)
+	pass.n, pass.nb = n, nb
 	src, dst := s.keys, buf
 	passes := (s.bits + isortDigitBits - 1) / isortDigitBits
 	mode := core.GetMode()
+	// The scatter bodies capture src/dst by reference, so the same
+	// closures serve every pass of the ping-pong.
+	scatter := func(i int, slot *uint32) { *slot = src[i] }
+	syncScatter := func(i int) { atomic.StoreUint32(&dst[pos[i]], src[i]) }
 	for p := 0; p < passes; p++ {
-		isortPositions(w, src, pos, uint(p*isortDigitBits))
+		isortPositions(w, pass, src, uint(p*isortDigitBits))
 		switch mode {
 		case core.ModeChecked:
 			// SngInd through the paper's par_ind_iter_mut analog: the
 			// positions are validated to be a permutation at run time.
-			if err := core.IndForEach(w, dst, pos, func(i int, slot *uint32) { *slot = src[i] }); err != nil {
+			if err := core.IndForEach(w, dst, pos, scatter); err != nil {
 				panic(fmt.Sprintf("isort: position check failed: %v", err))
 			}
 		case core.ModeSynchronized:
 			// Atomic stores placate the type system but validate nothing.
-			core.ForRange(w, 0, n, 0, func(i int) {
-				atomic.StoreUint32(&dst[pos[i]], src[i])
-			})
+			core.ForRange(w, 0, n, 0, syncScatter)
 		default:
-			core.IndForEachUnchecked(w, dst, pos, func(i int, slot *uint32) { *slot = src[i] })
+			core.IndForEachUnchecked(w, dst, pos, scatter)
 		}
 		src, dst = dst, src
 	}
 	if passes%2 == 1 {
 		core.CopyInto(w, s.keys, src)
 	}
+	pass.keys, pass.pos, pass.counts = nil, nil, nil
+	arena.ReleaseBox(w, pass)
+	a.Release(am)
 }
 
 func (s *isortInstance) runDirect(nThreads int) {

@@ -27,6 +27,13 @@ type misInstance struct {
 	g      *graph.Graph
 	pri    []uint32
 	status []int32 // atomic access
+
+	// Round-persistent scratch (docs/MEMORY.md): the frontier and its
+	// ping-pong partner, plus the pack-index destination. Grown once,
+	// reused every round and every benchmark repetition.
+	frontier []int32
+	spare    []int32
+	idx      []int32
 }
 
 func (m *misInstance) reset() {
@@ -53,40 +60,45 @@ func (m *misInstance) beatsAllNeighbors(v int32) bool {
 
 func (m *misInstance) runLibrary(w *core.Worker) {
 	n := int(m.g.N)
-	remaining := core.PackIndex(w, n, func(int) bool { return true })
-	for len(remaining) > 0 {
+	m.frontier = core.PackIndexInto(w, n, func(int) bool { return true }, m.frontier)
+	// The round bodies are built once per run and read the frontier via
+	// the instance, so rounds allocate nothing beyond frontier growth
+	// (and that only until the scratch has warmed).
+	winner := func(i int) {
 		// Phase A (RO + Stride): winners determine themselves; each task
 		// writes only its own status slot.
-		core.ForRange(w, 0, len(remaining), 0, func(i int) {
-			v := remaining[i]
-			if atomic.LoadInt32(&m.status[v]) != misLive {
-				return
-			}
-			if m.beatsAllNeighbors(v) {
-				atomic.StoreInt32(&m.status[v], misIn)
-			}
-		})
+		v := m.frontier[i]
+		if atomic.LoadInt32(&m.status[v]) != misLive {
+			return
+		}
+		if m.beatsAllNeighbors(v) {
+			atomic.StoreInt32(&m.status[v], misIn)
+		}
+	}
+	knock := func(i int) {
 		// Phase B (AW): winners knock out neighbors — overlapping
 		// same-value stores, synchronized with atomics.
-		core.ForRange(w, 0, len(remaining), 0, func(i int) {
-			v := remaining[i]
-			if atomic.LoadInt32(&m.status[v]) != misIn {
-				return
-			}
-			for _, u := range m.g.Neighbors(v) {
-				atomic.StoreInt32(&m.status[u], misOut)
-			}
-		})
-		// Shrink the frontier (pack).
-		next := make([]int32, 0, len(remaining)/2)
-		old := remaining
-		idx := core.PackIndex(w, len(old), func(i int) bool {
-			return atomic.LoadInt32(&m.status[old[i]]) == misLive
-		})
-		for _, i := range idx {
-			next = append(next, old[i])
+		v := m.frontier[i]
+		if atomic.LoadInt32(&m.status[v]) != misIn {
+			return
 		}
-		remaining = next
+		for _, u := range m.g.Neighbors(v) {
+			atomic.StoreInt32(&m.status[u], misOut)
+		}
+	}
+	live := func(i int) bool {
+		return atomic.LoadInt32(&m.status[m.frontier[i]]) == misLive
+	}
+	for len(m.frontier) > 0 {
+		core.ForRange(w, 0, len(m.frontier), 0, winner)
+		core.ForRange(w, 0, len(m.frontier), 0, knock)
+		// Shrink the frontier (pack) into the ping-pong partner.
+		m.idx = core.PackIndexInto(w, len(m.frontier), live, m.idx)
+		m.spare = core.EnsureLen(m.spare, len(m.idx))
+		for j, i := range m.idx {
+			m.spare[j] = m.frontier[i]
+		}
+		m.frontier, m.spare = m.spare, m.frontier
 	}
 }
 

@@ -19,9 +19,16 @@ import (
 type msfInstance struct {
 	edges []graph.WEdge
 	n     int32
-	best  []uint64 // per-vertex best (weight<<32 | edgeID), atomic
+	best  []uint64      // per-vertex best (weight<<32 | edgeID), atomic
+	uf    *unionfind.UF // built once, Reset between rounds
 	inMSF []bool
 	want  uint64 // oracle total weight
+
+	// Round-persistent scratch (docs/MEMORY.md): the live-edge frontier,
+	// its ping-pong partner, and the pack-index destination.
+	live  []int32
+	spare []int32
+	idx   []int32
 }
 
 const msfNone = ^uint64(0)
@@ -30,55 +37,62 @@ func (m *msfInstance) reset() {
 	for i := range m.inMSF {
 		m.inMSF[i] = false
 	}
+	m.uf.Reset()
 }
 
 func msfKey(w uint32, ei int) uint64 { return uint64(w)<<32 | uint64(uint32(ei)) }
 
 func (m *msfInstance) runLibrary(w *core.Worker) {
-	uf := unionfind.New(m.n)
-	live := core.PackIndex(w, len(m.edges), func(int) bool { return true })
-	for len(live) > 0 {
-		core.ForRange(w, 0, int(m.n), 0, func(v int) {
-			atomic.StoreUint64(&m.best[v], msfNone)
-		})
+	uf := m.uf
+	m.live = core.PackIndexInto(w, len(m.edges), func(int) bool { return true }, m.live)
+	// Round bodies are built once per run and read the frontier via the
+	// instance, so rounds allocate nothing beyond scratch warm-up.
+	clearBest := func(v int) {
+		atomic.StoreUint64(&m.best[v], msfNone)
+	}
+	offer := func(i int) {
 		// Offer every live edge to both endpoint components (AW).
-		core.ForRange(w, 0, len(live), 0, func(i int) {
-			ei := live[i]
-			e := m.edges[ei]
-			ru, rv := uf.Find(e.From), uf.Find(e.To)
-			if ru == rv {
-				return
-			}
-			k := msfKey(e.W, int(ei))
-			core.WriteMinU64(&m.best[ru], k)
-			core.WriteMinU64(&m.best[rv], k)
-		})
-		// Commit: the winning edge of each component unions and joins.
-		core.ForRange(w, 0, len(live), 0, func(i int) {
-			ei := live[i]
-			e := m.edges[ei]
-			ru, rv := uf.Find(e.From), uf.Find(e.To)
-			if ru == rv {
-				return
-			}
-			k := msfKey(e.W, int(ei))
-			if atomic.LoadUint64(&m.best[ru]) == k || atomic.LoadUint64(&m.best[rv]) == k {
-				if uf.Union(e.From, e.To) {
-					m.inMSF[ei] = true
-				}
-			}
-		})
-		// Drop edges now internal to one component.
-		old := live
-		idx := core.PackIndex(w, len(old), func(i int) bool {
-			e := m.edges[old[i]]
-			return !uf.SameSet(e.From, e.To)
-		})
-		next := make([]int32, len(idx))
-		for j, i := range idx {
-			next[j] = old[i]
+		ei := m.live[i]
+		e := m.edges[ei]
+		ru, rv := uf.Find(e.From), uf.Find(e.To)
+		if ru == rv {
+			return
 		}
-		live = next
+		k := msfKey(e.W, int(ei))
+		core.WriteMinU64(&m.best[ru], k)
+		core.WriteMinU64(&m.best[rv], k)
+	}
+	commit := func(i int) {
+		// Commit: the winning edge of each component unions and joins.
+		ei := m.live[i]
+		e := m.edges[ei]
+		ru, rv := uf.Find(e.From), uf.Find(e.To)
+		if ru == rv {
+			return
+		}
+		k := msfKey(e.W, int(ei))
+		if atomic.LoadUint64(&m.best[ru]) == k || atomic.LoadUint64(&m.best[rv]) == k {
+			if uf.Union(e.From, e.To) {
+				m.inMSF[ei] = true
+			}
+		}
+	}
+	external := func(i int) bool {
+		e := m.edges[m.live[i]]
+		return !uf.SameSet(e.From, e.To)
+	}
+	for len(m.live) > 0 {
+		core.ForRange(w, 0, int(m.n), 0, clearBest)
+		core.ForRange(w, 0, len(m.live), 0, offer)
+		core.ForRange(w, 0, len(m.live), 0, commit)
+		// Drop edges now internal to one component (pack into the
+		// ping-pong partner).
+		m.idx = core.PackIndexInto(w, len(m.live), external, m.idx)
+		m.spare = core.EnsureLen(m.spare, len(m.idx))
+		for j, i := range m.idx {
+			m.spare[j] = m.live[i]
+		}
+		m.live, m.spare = m.spare, m.live
 	}
 }
 
@@ -217,6 +231,7 @@ func init() {
 				edges: edges,
 				n:     n,
 				best:  make([]uint64, n),
+				uf:    unionfind.New(n),
 				inMSF: make([]bool, len(edges)),
 				want:  kruskalOracle(edges, n),
 			}

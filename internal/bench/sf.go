@@ -16,6 +16,7 @@ import (
 type sfInstance struct {
 	edges    []graph.Edge
 	n        int32
+	uf       *unionfind.UF // built once, Reset between rounds
 	inForest []bool
 	want     int // forest size = n - #components (from sequential oracle)
 }
@@ -24,10 +25,11 @@ func (s *sfInstance) reset() {
 	for i := range s.inForest {
 		s.inForest[i] = false
 	}
+	s.uf.Reset()
 }
 
 func (s *sfInstance) runLibrary(w *core.Worker) {
-	uf := unionfind.New(s.n)
+	uf := s.uf
 	core.ForRange(w, 0, len(s.edges), 0, func(i int) {
 		e := s.edges[i]
 		if uf.Union(e.From, e.To) {
@@ -98,6 +100,7 @@ func init() {
 			s := &sfInstance{
 				edges:    edges,
 				n:        n,
+				uf:       unionfind.New(n),
 				inForest: make([]bool, len(edges)),
 				want:     forest,
 			}

@@ -2,8 +2,10 @@ package bench
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
+	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/seqgen"
 )
@@ -40,20 +42,28 @@ func (s *sortInstance) runLibrary(w *core.Worker) {
 		core.Sort(w, s.keys)
 		return
 	}
+	// Every round buffer below is a checkout from the worker's arena
+	// (docs/MEMORY.md); after warm-up the steady state allocates nothing.
+	// counts and offsets use the zeroed Alloc — the scan proof's
+	// zero-init precondition — while the fully-overwritten buffers take
+	// the uninitialized form.
+	a := arena.Of(w)
+	am := a.Mark()
 	// Sample and pick splitters (RO).
 	r := seqgen.NewRng(0x5a5a)
-	samples := core.Tabulate(w, sortBuckets*sortOversample, func(i int) uint32 {
-		return s.keys[r.Intn(uint64(i), n)]
+	samples := arena.AllocUninit[uint32](a, sortBuckets*sortOversample)
+	core.ForRange(w, 0, len(samples), 0, func(i int) {
+		samples[i] = s.keys[r.Intn(uint64(i), n)]
 	})
 	core.Sort(w, samples)
-	splitters := make([]uint32, sortBuckets-1)
+	splitters := arena.AllocUninit[uint32](a, sortBuckets-1)
 	for i := range splitters {
 		splitters[i] = samples[(i+1)*sortOversample]
 	}
 	// Blocked classify + count (Block).
 	nb := (n + sortBlock - 1) / sortBlock
-	counts := make([]int32, sortBuckets*nb)
-	bucketOf := make([]uint8, n)
+	counts := arena.Alloc[int32](a, sortBuckets*nb)
+	bucketOf := arena.AllocUninit[uint8](a, n)
 	core.ForRange(w, 0, nb, 1, func(b int) {
 		lo, hi := b*sortBlock, (b+1)*sortBlock
 		if hi > n {
@@ -76,7 +86,7 @@ func (s *sortInstance) runLibrary(w *core.Worker) {
 	// scan, no writes after — is exactly the monotone+bounds provenance
 	// the certifier proves, so the RngInd adapter below runs unchecked
 	// under certificate.
-	offsets := make([]int32, sortBuckets+1)
+	offsets := arena.Alloc[int32](a, sortBuckets+1)
 	core.ForRange(w, 0, sortBuckets, 0, func(d int) {
 		var t int32
 		for b := 0; b < nb; b++ {
@@ -87,7 +97,7 @@ func (s *sortInstance) runLibrary(w *core.Worker) {
 	total := core.ScanInclusive(w, offsets[1:])
 	core.ScanExclusive(w, counts)
 	// Scatter into bucket order (disjoint cursor ranges per block).
-	buf := make([]uint32, total)
+	buf := arena.AllocUninit[uint32](a, total)
 	core.ForRange(w, 0, nb, 1, func(b int) {
 		lo, hi := b*sortBlock, (b+1)*sortBlock
 		if hi > n {
@@ -104,9 +114,7 @@ func (s *sortInstance) runLibrary(w *core.Worker) {
 		}
 	})
 	// Sort each bucket through the RngInd adapter.
-	sortChunk := func(_ int, chunk []uint32) {
-		sort.Slice(chunk, func(i, j int) bool { return chunk[i] < chunk[j] })
-	}
+	sortChunk := func(_ int, chunk []uint32) { slices.Sort(chunk) }
 	if core.GetMode() == core.ModeChecked {
 		if err := core.IndChunks(w, buf, offsets, sortChunk); err != nil {
 			panic(fmt.Sprintf("sort: boundary check failed: %v", err))
@@ -115,12 +123,13 @@ func (s *sortInstance) runLibrary(w *core.Worker) {
 		core.IndChunksUnchecked(w, buf, offsets, sortChunk)
 	}
 	core.CopyInto(w, s.keys, buf)
+	a.Release(am)
 }
 
 func (s *sortInstance) runDirect(nThreads int) {
 	n := len(s.keys)
 	if n <= sortBlock || nThreads <= 1 {
-		sort.Slice(s.keys, func(i, j int) bool { return s.keys[i] < s.keys[j] })
+		slices.Sort(s.keys)
 		return
 	}
 	r := seqgen.NewRng(0x5a5a)
@@ -128,7 +137,7 @@ func (s *sortInstance) runDirect(nThreads int) {
 	for i := range samples {
 		samples[i] = s.keys[r.Intn(uint64(i), n)]
 	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	slices.Sort(samples)
 	splitters := make([]uint32, sortBuckets-1)
 	for i := range splitters {
 		splitters[i] = samples[(i+1)*sortOversample]
@@ -180,7 +189,7 @@ func (s *sortInstance) runDirect(nThreads int) {
 				end = counts[(d+1)*nb]
 			}
 			chunk := buf[start:end]
-			sort.Slice(chunk, func(i, j int) bool { return chunk[i] < chunk[j] })
+			slices.Sort(chunk)
 		}
 	})
 	copy(s.keys, buf)

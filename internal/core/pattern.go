@@ -261,6 +261,13 @@ var dynCounts [numPatterns]atomic.Int64
 
 func countDyn(p Pattern) { dynCounts[p].Add(1) }
 
+// CountDynamic records one run-time invocation of pattern p in the
+// dynamic census. Kernel code that drives sched loops directly (the
+// box-based ForBody bodies of internal/radix, which bypass the closure
+// primitives above) calls it so the fear report's dynamic column stays
+// truthful about what actually ran.
+func CountDynamic(p Pattern) { countDyn(p) }
+
 // DynamicCounts returns the number of run-time invocations per pattern
 // since the last reset.
 func DynamicCounts() map[Pattern]int64 {

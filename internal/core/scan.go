@@ -5,146 +5,453 @@ package core
 // computing per-chunk summaries, a short sequential scan over the chunk
 // summaries, and a second Block-pattern pass writing results. Both
 // passes touch disjoint chunks, so the whole construction is Fearless.
+//
+// Allocation discipline (docs/MEMORY.md): the per-chunk summary buffers
+// come from the calling worker's scratch arena (internal/arena) under a
+// Mark/Release scope, the loop bodies are reusable per-worker boxes
+// driven through sched.ForBody, and every primitive has a
+// destination-passing *Into form that reuses a caller-owned output
+// buffer. In their steady state the scans and packs allocate nothing.
 
-// scanBlockSize is the per-chunk grain for two-pass scans.
-const scanBlockSize = 2048
+import (
+	"fmt"
+	"math"
+	"unsafe"
 
-// ScanExclusiveOp replaces xs[i] with op(identity, xs[0], ..., xs[i-1])
-// in place and returns the total op-fold of the original slice. op must
-// be associative with identity as its unit.
-func ScanExclusiveOp[T any](w *Worker, xs []T, identity T, op func(a, b T) T) T {
-	n := len(xs)
-	if n == 0 {
-		return identity
+	"repro/internal/arena"
+)
+
+// scanTargetBytes is the cache budget per scan chunk: the per-chunk
+// grain is derived from the element size so one chunk's worth of data
+// (~64 KiB, half a typical L2 slice, read once and written once per
+// pass) stays resident between the two touches. A var so the grain
+// sweep in EXPERIMENTS.md can measure alternatives.
+var scanTargetBytes = 64 << 10
+
+// scanBlockMin floors the derived grain so pathological element sizes
+// cannot degenerate the two-pass structure into per-element tasks.
+const scanBlockMin = 512
+
+// scanBlockFor returns the per-chunk element count for elements of the
+// given size, targeting scanTargetBytes per chunk.
+func scanBlockFor(elemSize uintptr) int {
+	if elemSize == 0 {
+		return 1 << 16
 	}
-	nblocks := (n + scanBlockSize - 1) / scanBlockSize
-	sums := make([]T, nblocks)
-	Chunks(w, xs, scanBlockSize, func(ci int, chunk []T) {
-		acc := identity
-		for i := range chunk {
-			acc = op(acc, chunk[i])
+	b := scanTargetBytes / int(elemSize)
+	if b < scanBlockMin {
+		b = scanBlockMin
+	}
+	return b
+}
+
+// scanGrain is scanBlockFor over a type parameter.
+func scanGrain[T any]() int {
+	return scanBlockFor(unsafe.Sizeof(*new(T)))
+}
+
+// packIndexLimit bounds the index space of PackIndex/Filter: packed
+// indices are int32, so n past this limit would overflow silently.
+// A var (not const) so the guard path is testable with a small
+// injected limit instead of a 2^31-element input.
+var packIndexLimit = int64(math.MaxInt32) + 1
+
+// ensureLen is the destination-passing growth rule: reuse dst's backing
+// array when it is big enough, reallocate (amortized, to exactly n)
+// when not. Steady-state calls with a warmed destination do not
+// allocate.
+func ensureLen[T any](dst []T, n int) []T {
+	if n <= cap(dst) {
+		return dst[:n]
+	}
+	return make([]T, n)
+}
+
+// EnsureLen resizes dst to length n, reusing its backing array whenever
+// capacity allows. It is the helper behind every *Into primitive,
+// exported so benchmark kernels can apply the same convention to their
+// own round-persistent buffers.
+func EnsureLen[T any](dst []T, n int) []T {
+	return ensureLen(dst, n)
+}
+
+// Phases of the two-pass scan/pack bodies.
+const (
+	phaseCount uint8 = iota
+	phaseWrite
+)
+
+// sumScanBody is the reusable loop body for the two block passes of a
+// sum scan. It ranges over block indices; src and dst may alias (the
+// in-place forms). Acquired from the worker's box stack, so the
+// steady-state scan builds no closures and allocates nothing.
+type sumScanBody[T Number] struct {
+	src, dst  []T
+	sums      []T
+	block     int
+	phase     uint8
+	inclusive bool
+}
+
+func (s *sumScanBody[T]) RunRange(_ *Worker, lo, hi int) {
+	for ci := lo; ci < hi; ci++ {
+		blo := ci * s.block
+		bhi := min(blo+s.block, len(s.src))
+		switch {
+		case s.phase == phaseCount:
+			var acc T
+			for i := blo; i < bhi; i++ {
+				acc += s.src[i]
+			}
+			s.sums[ci] = acc
+		case s.inclusive:
+			acc := s.sums[ci]
+			for i := blo; i < bhi; i++ {
+				acc += s.src[i]
+				s.dst[i] = acc
+			}
+		default:
+			acc := s.sums[ci]
+			for i := blo; i < bhi; i++ {
+				v := s.src[i]
+				s.dst[i] = acc
+				acc += v
+			}
 		}
-		sums[ci] = acc
-	})
-	total := identity
-	for ci := 0; ci < nblocks; ci++ {
+	}
+}
+
+// sumScan is the shared engine: scan src into dst (which may alias src)
+// and return the total. dst must have length len(src).
+func sumScan[T Number](w *Worker, dst, src []T, inclusive bool) T {
+	var total T
+	n := len(src)
+	if n == 0 {
+		return total
+	}
+	block := scanGrain[T]()
+	countDyn(Block)
+	countDyn(Block)
+	if w == nil || n <= block {
+		// Single sequential pass; no summary buffer needed at all.
+		if inclusive {
+			for i, v := range src {
+				total += v
+				dst[i] = total
+			}
+		} else {
+			for i, v := range src {
+				dst[i] = total
+				total += v
+			}
+		}
+		return total
+	}
+	nblocks := (n + block - 1) / block
+	a := arena.Of(w)
+	m := a.Mark()
+	sums := arena.AllocUninit[T](a, nblocks)
+	b := arena.AcquireBox[sumScanBody[T]](w)
+	b.src, b.dst, b.sums = src, dst, sums
+	b.block, b.inclusive = block, inclusive
+	b.phase = phaseCount
+	w.ForBody(0, nblocks, 1, b)
+	for ci := range sums {
 		s := sums[ci]
 		sums[ci] = total
-		total = op(total, s)
+		total += s
 	}
-	Chunks(w, xs, scanBlockSize, func(ci int, chunk []T) {
-		acc := sums[ci]
-		for i := range chunk {
-			v := chunk[i]
-			chunk[i] = acc
-			acc = op(acc, v)
-		}
-	})
+	b.phase = phaseWrite
+	w.ForBody(0, nblocks, 1, b)
+	b.src, b.dst, b.sums = nil, nil, nil
+	arena.ReleaseBox(w, b)
+	a.Release(m)
 	return total
 }
 
 // ScanExclusive replaces xs[i] with the sum of xs[0..i) in place and
-// returns the total sum of the original slice.
+// returns the total sum of the original slice. Steady state: 0 allocs.
 func ScanExclusive[T Number](w *Worker, xs []T) T {
-	var zero T
-	return ScanExclusiveOp(w, xs, zero, func(a, b T) T { return a + b })
+	return sumScan(w, xs, xs, false)
+}
+
+// ScanExclusiveInto writes the exclusive prefix sums of xs into dst
+// (len(dst) >= len(xs)), leaving xs intact, and returns the total.
+func ScanExclusiveInto[T Number](w *Worker, dst, xs []T) T {
+	return sumScan(w, dst[:len(xs)], xs, false)
 }
 
 // ScanInclusive replaces xs[i] with the sum of xs[0..i] in place and
 // returns the total sum.
 func ScanInclusive[T Number](w *Worker, xs []T) T {
+	return sumScan(w, xs, xs, true)
+}
+
+// ScanInclusiveInto writes the inclusive prefix sums of xs into dst
+// (len(dst) >= len(xs)), leaving xs intact, and returns the total.
+// Steady state: 0 allocs.
+func ScanInclusiveInto[T Number](w *Worker, dst, xs []T) T {
+	return sumScan(w, dst[:len(xs)], xs, true)
+}
+
+// opScanBody is sumScanBody for a caller-supplied combiner.
+type opScanBody[T any] struct {
+	xs       []T
+	sums     []T
+	block    int
+	phase    uint8
+	identity T
+	op       func(a, b T) T
+}
+
+func (s *opScanBody[T]) RunRange(_ *Worker, lo, hi int) {
+	for ci := lo; ci < hi; ci++ {
+		blo := ci * s.block
+		bhi := min(blo+s.block, len(s.xs))
+		if s.phase == phaseCount {
+			acc := s.identity
+			for i := blo; i < bhi; i++ {
+				acc = s.op(acc, s.xs[i])
+			}
+			s.sums[ci] = acc
+		} else {
+			acc := s.sums[ci]
+			for i := blo; i < bhi; i++ {
+				v := s.xs[i]
+				s.xs[i] = acc
+				acc = s.op(acc, v)
+			}
+		}
+	}
+}
+
+// ScanExclusiveOp replaces xs[i] with op(identity, xs[0], ..., xs[i-1])
+// in place and returns the total op-fold of the original slice. op must
+// be associative with identity as its unit. The per-chunk summary
+// buffer comes from the worker's arena (for pointer-free T; pointered
+// element types fall back to a heap summary buffer).
+func ScanExclusiveOp[T any](w *Worker, xs []T, identity T, op func(a, b T) T) T {
 	n := len(xs)
 	if n == 0 {
-		var zero T
-		return zero
+		return identity
 	}
-	nblocks := (n + scanBlockSize - 1) / scanBlockSize
-	sums := make([]T, nblocks)
-	Chunks(w, xs, scanBlockSize, func(ci int, chunk []T) {
-		var acc T
-		for i := range chunk {
-			acc += chunk[i]
+	block := scanGrain[T]()
+	countDyn(Block)
+	countDyn(Block)
+	if w == nil || n <= block {
+		total := identity
+		for i := range xs {
+			v := xs[i]
+			xs[i] = total
+			total = op(total, v)
 		}
-		sums[ci] = acc
-	})
-	var total T
-	for ci := 0; ci < nblocks; ci++ {
+		return total
+	}
+	nblocks := (n + block - 1) / block
+	a := arena.Of(w)
+	m := a.Mark()
+	sums := arena.AllocUninit[T](a, nblocks)
+	b := arena.AcquireBox[opScanBody[T]](w)
+	b.xs, b.sums = xs, sums
+	b.block, b.identity, b.op = block, identity, op
+	b.phase = phaseCount
+	w.ForBody(0, nblocks, 1, b)
+	total := identity
+	for ci := range sums {
 		s := sums[ci]
 		sums[ci] = total
-		total += s
+		total = op(total, s)
 	}
-	Chunks(w, xs, scanBlockSize, func(ci int, chunk []T) {
-		acc := sums[ci]
-		for i := range chunk {
-			acc += chunk[i]
-			chunk[i] = acc
-		}
-	})
+	b.phase = phaseWrite
+	w.ForBody(0, nblocks, 1, b)
+	b.xs, b.sums, b.op = nil, nil, nil
+	arena.ReleaseBox(w, b)
+	a.Release(m)
 	return total
 }
 
-// PackIndex returns, in order, every index i in [0, n) for which keep(i)
-// is true. It is the index-space form of the paper's "pack" pattern.
+// packBody is the reusable loop body for the two block passes of an
+// index pack: count matches per block, then (after the offsets scan)
+// write matching indices into disjoint output ranges.
+type packBody struct {
+	n, block int
+	keep     func(i int) bool
+	counts   []int32 // per-block match counts, then exclusive offsets
+	out      []int32
+	phase    uint8
+}
+
+func (p *packBody) RunRange(_ *Worker, lo, hi int) {
+	for ci := lo; ci < hi; ci++ {
+		blo := ci * p.block
+		bhi := min(blo+p.block, p.n)
+		if p.phase == phaseCount {
+			var c int32
+			for i := blo; i < bhi; i++ {
+				if p.keep(i) {
+					c++
+				}
+			}
+			p.counts[ci] = c
+		} else {
+			at := p.counts[ci]
+			for i := blo; i < bhi; i++ {
+				if p.keep(i) {
+					p.out[at] = int32(i)
+					at++
+				}
+			}
+		}
+	}
+}
+
+// packCount runs the counting pass and offset scan for an index pack
+// over [0, n), leaving b.counts holding exclusive block offsets.
+// Returns the total match count. The caller owns releasing b and m.
+func packCount(w *Worker, a *arena.Arena, b *packBody, n int, keep func(i int) bool) int32 {
+	if int64(n) > packIndexLimit {
+		panic(fmt.Sprintf("core.PackIndex: index space %d exceeds int32 packed-index limit %d; indices would overflow", n, packIndexLimit))
+	}
+	block := scanBlockFor(unsafe.Sizeof(int32(0)))
+	nblocks := (n + block - 1) / block
+	b.n, b.block, b.keep = n, block, keep
+	b.counts = arena.AllocUninit[int32](a, nblocks)
+	b.phase = phaseCount
+	countDyn(Block)
+	countDyn(Block)
+	if w == nil || nblocks <= 1 {
+		b.RunRange(nil, 0, nblocks)
+	} else {
+		w.ForBody(0, nblocks, 1, b)
+	}
+	var total int32
+	for ci := range b.counts {
+		c := b.counts[ci]
+		b.counts[ci] = total
+		total += c
+	}
+	return total
+}
+
+// packWrite runs the writing pass of an index pack into out.
+func packWrite(w *Worker, b *packBody, out []int32) {
+	nblocks := len(b.counts)
+	b.out = out
+	b.phase = phaseWrite
+	if w == nil || nblocks <= 1 {
+		b.RunRange(nil, 0, nblocks)
+	} else {
+		w.ForBody(0, nblocks, 1, b)
+	}
+	b.keep, b.counts, b.out = nil, nil, nil
+}
+
+// PackIndexInto writes, in order, every index i in [0, n) for which
+// keep(i) is true into dst (reusing its backing array when capacity
+// allows) and returns the packed slice. Steady state with a warmed
+// destination: 0 allocs. It is the destination-passing form of the
+// paper's "pack" pattern.
+func PackIndexInto(w *Worker, n int, keep func(i int) bool, dst []int32) []int32 {
+	if n <= 0 {
+		return dst[:0]
+	}
+	a := arena.Of(w)
+	m := a.Mark()
+	b := arena.AcquireBox[packBody](w)
+	total := packCount(w, a, b, n, keep)
+	dst = ensureLen(dst, int(total))
+	packWrite(w, b, dst)
+	arena.ReleaseBox(w, b)
+	a.Release(m)
+	return dst
+}
+
+// PackIndex returns, in order, every index i in [0, n) for which
+// keep(i) is true. The result is freshly allocated; hot paths that can
+// reuse a buffer should call PackIndexInto.
 func PackIndex(w *Worker, n int, keep func(i int) bool) []int32 {
-	nblocks := (n + scanBlockSize - 1) / scanBlockSize
-	if nblocks == 0 {
+	if n <= 0 {
 		return nil
 	}
-	counts := make([]int32, nblocks)
-	ForRange(w, 0, nblocks, 1, func(ci int) {
-		lo, hi := ci*scanBlockSize, (ci+1)*scanBlockSize
-		if hi > n {
-			hi = n
-		}
-		var c int32
-		for i := lo; i < hi; i++ {
-			if keep(i) {
-				c++
-			}
-		}
-		counts[ci] = c
-	})
-	total := ScanExclusive(w, counts)
-	out := make([]int32, total)
-	ForRange(w, 0, nblocks, 1, func(ci int) {
-		lo, hi := ci*scanBlockSize, (ci+1)*scanBlockSize
-		if hi > n {
-			hi = n
-		}
-		at := counts[ci]
-		for i := lo; i < hi; i++ {
-			if keep(i) {
-				out[at] = int32(i)
-				at++
-			}
-		}
-	})
-	return out
+	return PackIndexInto(w, n, keep, nil)
+}
+
+// gatherBody copies src[idx[i]] into dst[i] — the writing half of
+// Filter, as a box so the steady-state FilterInto builds no closures.
+type gatherBody[T any] struct {
+	idx      []int32
+	src, dst []T
+}
+
+func (g *gatherBody[T]) RunRange(_ *Worker, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		g.dst[i] = g.src[g.idx[i]]
+	}
+}
+
+// FilterInto writes, in order, the elements of xs satisfying keep into
+// dst (reusing its backing array when capacity allows) and returns the
+// filtered slice. The packed-index scratch lives in the worker's arena.
+func FilterInto[T any](w *Worker, xs []T, keep func(x T) bool, dst []T) []T {
+	if len(xs) == 0 {
+		return dst[:0]
+	}
+	a := arena.Of(w)
+	m := a.Mark()
+	b := arena.AcquireBox[packBody](w)
+	total := packCount(w, a, b, len(xs), func(i int) bool { return keep(xs[i]) })
+	idx := arena.AllocUninit[int32](a, total)
+	packWrite(w, b, idx)
+	arena.ReleaseBox(w, b)
+	dst = ensureLen(dst, int(total))
+	g := arena.AcquireBox[gatherBody[T]](w)
+	g.idx, g.src, g.dst = idx, xs, dst
+	countDyn(Stride)
+	if w == nil || len(idx) <= 1 {
+		g.RunRange(nil, 0, len(idx))
+	} else {
+		w.ForBody(0, len(idx), 0, g)
+	}
+	g.idx, g.src, g.dst = nil, nil, nil
+	arena.ReleaseBox(w, g)
+	a.Release(m)
+	return dst
 }
 
 // Filter returns, in order, the elements of xs satisfying keep.
 func Filter[T any](w *Worker, xs []T, keep func(x T) bool) []T {
-	idx := PackIndex(w, len(xs), func(i int) bool { return keep(xs[i]) })
-	out := make([]T, len(idx))
-	ForRange(w, 0, len(idx), 0, func(i int) { out[i] = xs[idx[i]] })
-	return out
+	return FilterInto(w, xs, keep, nil)
 }
 
-// Flatten concatenates nested into one slice, in parallel: a Stride
-// pass collects lengths, a scan turns them into offsets, and each task
-// copies its sub-slice into its own output range — RngInd with
-// monotonicity guaranteed by the scan itself, so the unchecked
-// traversal is safe by construction (the situation where PBBS's
-// flatten needs no run-time check).
-func Flatten[T any](w *Worker, nested [][]T) []T {
-	offsets := make([]int32, len(nested)+1)
+// FlattenInto concatenates nested into dst (reusing its backing array
+// when capacity allows), in parallel: a Stride pass collects lengths,
+// a scan turns them into offsets, and each task copies its sub-slice
+// into its own output range — RngInd with monotonicity guaranteed by
+// the scan itself, so the unchecked traversal is safe by construction
+// (the situation where PBBS's flatten needs no run-time check).
+//
+// Offsets are int64, so a total past math.MaxInt32 concatenates
+// correctly instead of wrapping (the scatter target length is checked
+// against the address space by make itself). The offsets scratch lives
+// in the worker's arena.
+func FlattenInto[T any](w *Worker, nested [][]T, dst []T) []T {
+	a := arena.Of(w)
+	m := a.Mark()
+	offsets := arena.Alloc[int64](a, len(nested)+1)
 	ForRange(w, 0, len(nested), 0, func(i int) {
-		offsets[i+1] = int32(len(nested[i]))
+		offsets[i+1] = int64(len(nested[i]))
 	})
 	ScanInclusive(w, offsets[1:])
-	out := make([]T, offsets[len(nested)])
-	IndChunksUnchecked(w, out, offsets, func(i int, chunk []T) {
+	total := offsets[len(nested)]
+	dst = ensureLen(dst, int(total))
+	IndChunksUnchecked(w, dst, offsets, func(i int, chunk []T) {
 		copy(chunk, nested[i])
 	})
-	return out
+	a.Release(m)
+	return dst
+}
+
+// Flatten concatenates nested into one freshly allocated slice.
+func Flatten[T any](w *Worker, nested [][]T) []T {
+	return FlattenInto(w, nested, nil)
 }

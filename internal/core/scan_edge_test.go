@@ -1,0 +1,224 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Edge-length coverage for the blocked two-pass primitives: empty
+// input, a single block (sequential fast path), and lengths that land
+// exactly on block boundaries — the off-by-one hot spots of the
+// count/scan/write structure. Each case runs both sequentially (nil
+// worker) and on the shared pool.
+
+// edgeLengths returns the boundary-sensitive input sizes for elements
+// whose derived scan grain is g.
+func edgeLengths(g int) []int {
+	return []int{0, 1, g - 1, g, g + 1, 2 * g, 2*g + 1, 3 * g}
+}
+
+func TestScanIntoLeavesSourceIntact(t *testing.T) {
+	for _, n := range edgeLengths(scanGrain[int64]()) {
+		src := make([]int64, n)
+		for i := range src {
+			src[i] = int64(i%7) - 3
+		}
+		orig := append([]int64(nil), src...)
+		wantEx := make([]int64, n)
+		wantIn := make([]int64, n)
+		var acc int64
+		for i, v := range src {
+			wantEx[i] = acc
+			acc += v
+			wantIn[i] = acc
+		}
+		for _, par := range []bool{false, true} {
+			dstEx := make([]int64, n)
+			dstIn := make([]int64, n)
+			var totEx, totIn int64
+			run := func(w *Worker) {
+				totEx = ScanExclusiveInto(w, dstEx, src)
+				totIn = ScanInclusiveInto(w, dstIn, src)
+			}
+			if par {
+				on(run)
+			} else {
+				run(nil)
+			}
+			if totEx != acc || totIn != acc {
+				t.Fatalf("n=%d par=%v: totals %d/%d, want %d", n, par, totEx, totIn, acc)
+			}
+			for i := range src {
+				if src[i] != orig[i] {
+					t.Fatalf("n=%d par=%v: source modified at %d", n, par, i)
+				}
+				if dstEx[i] != wantEx[i] || dstIn[i] != wantIn[i] {
+					t.Fatalf("n=%d par=%v: dst[%d] = %d/%d, want %d/%d",
+						n, par, i, dstEx[i], dstIn[i], wantEx[i], wantIn[i])
+				}
+			}
+		}
+	}
+}
+
+func TestScanExclusiveOpBlockBoundaries(t *testing.T) {
+	for _, n := range edgeLengths(scanGrain[int32]()) {
+		for _, par := range []bool{false, true} {
+			xs := make([]int32, n)
+			for i := range xs {
+				xs[i] = int32(i % 11)
+			}
+			want := make([]int32, n)
+			wantTotal := int32(0)
+			for i := range xs {
+				want[i] = wantTotal
+				wantTotal += xs[i]
+			}
+			add := func(a, b int32) int32 { return a + b }
+			var total int32
+			if par {
+				on(func(w *Worker) { total = ScanExclusiveOp(w, xs, 0, add) })
+			} else {
+				total = ScanExclusiveOp(nil, xs, 0, add)
+			}
+			if total != wantTotal {
+				t.Fatalf("n=%d par=%v: total = %d, want %d", n, par, total, wantTotal)
+			}
+			for i := range xs {
+				if xs[i] != want[i] {
+					t.Fatalf("n=%d par=%v: xs[%d] = %d, want %d", n, par, i, xs[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFilterBlockBoundaries(t *testing.T) {
+	keep := func(x int32) bool { return x%3 == 0 }
+	for _, n := range edgeLengths(scanBlockFor(4)) {
+		xs := make([]int32, n)
+		for i := range xs {
+			xs[i] = int32(i)
+		}
+		var want []int32
+		for _, x := range xs {
+			if keep(x) {
+				want = append(want, x)
+			}
+		}
+		for _, par := range []bool{false, true} {
+			var got []int32
+			if par {
+				on(func(w *Worker) { got = Filter(w, xs, keep) })
+			} else {
+				got = Filter(nil, xs, keep)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("n=%d par=%v: len = %d, want %d", n, par, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d par=%v: got[%d] = %d, want %d", n, par, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestFlattenBlockBoundaries(t *testing.T) {
+	g := scanGrain[int32]()
+	cases := [][]int{
+		{},            // no sub-slices at all
+		{0},           // one empty sub-slice
+		{0, 0, 0},     // all empty
+		{1},           // single element
+		{g},           // one exact block
+		{g, 0, g},     // empties between blocks
+		{g - 1, 1, g}, // boundary straddle
+		{3, 2*g + 1, 5},
+	}
+	for ci, lens := range cases {
+		nested := make([][]int32, len(lens))
+		var want []int32
+		next := int32(0)
+		for i, l := range lens {
+			nested[i] = make([]int32, l)
+			for j := range nested[i] {
+				nested[i][j] = next
+				want = append(want, next)
+				next++
+			}
+		}
+		for _, par := range []bool{false, true} {
+			var got []int32
+			if par {
+				on(func(w *Worker) { got = Flatten(w, nested) })
+			} else {
+				got = Flatten(nil, nested)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("case %d par=%v: len = %d, want %d", ci, par, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("case %d par=%v: got[%d] = %d, want %d", ci, par, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestIntoFormsReuseDestination pins the destination-passing contract:
+// with a warmed destination of sufficient capacity the *Into forms
+// return a slice sharing its backing array instead of reallocating.
+func TestIntoFormsReuseDestination(t *testing.T) {
+	n := 1000
+	dst := make([]int32, n)
+	got := PackIndexInto(nil, n, func(i int) bool { return i%2 == 0 }, dst)
+	if &got[0] != &dst[0] {
+		t.Fatal("PackIndexInto reallocated despite sufficient capacity")
+	}
+	xs := make([]int32, n)
+	for i := range xs {
+		xs[i] = int32(i)
+	}
+	fdst := make([]int32, n)
+	fgot := FilterInto(nil, xs, func(x int32) bool { return x%2 == 0 }, fdst)
+	if &fgot[0] != &fdst[0] {
+		t.Fatal("FilterInto reallocated despite sufficient capacity")
+	}
+	flat := FlattenInto(nil, [][]int32{xs[:10], xs[10:20]}, fdst)
+	if &flat[0] != &fdst[0] {
+		t.Fatal("FlattenInto reallocated despite sufficient capacity")
+	}
+	// Too small: must grow, leaving the original untouched beyond its use.
+	small := make([]int32, 1)
+	grown := PackIndexInto(nil, n, func(i int) bool { return true }, small)
+	if len(grown) != n {
+		t.Fatalf("grown pack len = %d, want %d", len(grown), n)
+	}
+}
+
+// TestPackIndexOverflowGuard injects a small packIndexLimit and checks
+// that an index space past it panics with the overflow message instead
+// of wrapping int32 indices silently. (The real limit needs a
+// 2^31-element input to exercise.)
+func TestPackIndexOverflowGuard(t *testing.T) {
+	defer func(old int64) { packIndexLimit = old }(packIndexLimit)
+	packIndexLimit = 1 << 10
+	// At the limit: fine.
+	if got := PackIndex(nil, 1<<10, func(i int) bool { return i == 0 }); len(got) != 1 {
+		t.Fatalf("pack at limit: len = %d, want 1", len(got))
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("PackIndex past the limit did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "packed-index limit") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	PackIndex(nil, 1<<10+1, func(i int) bool { return true })
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkScanGrainSweep measures ScanInclusive over a fixed 4M-int32
+// input while varying scanTargetBytes, the cache budget from which
+// scanBlockFor derives the per-chunk element count. The sweep behind
+// the 64 KiB default recorded in EXPERIMENTS.md: small chunks pay
+// per-chunk dispatch twice per scan, huge chunks spill the chunk out of
+// L2 between the count and write passes.
+func BenchmarkScanGrainSweep(b *testing.B) {
+	const n = 1 << 22
+	xs := make([]int32, n)
+	for _, target := range []int{8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("target=%dKiB", target>>10), func(b *testing.B) {
+			defer func(old int) { scanTargetBytes = old }(scanTargetBytes)
+			scanTargetBytes = target
+			pool := NewPool(4)
+			defer pool.Close()
+			b.ReportAllocs()
+			b.SetBytes(int64(n * 4))
+			pool.Do(func(w *Worker) {
+				for i := range xs {
+					xs[i] = 1
+				}
+				ScanInclusive(w, xs) // warm-up: grow arena, fill caches
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ScanInclusive(w, xs)
+				}
+				b.StopTimer()
+			})
+		})
+	}
+}

@@ -52,7 +52,7 @@ func TestScanParallelMatchesSequentialProperty(t *testing.T) {
 		}
 		if big {
 			// Stretch across multiple scan blocks.
-			for len(data) < 3*scanBlockSize {
+			for len(data) < 3*scanGrain[int64]() {
 				data = append(data, data...)
 				if len(data) == 0 {
 					break

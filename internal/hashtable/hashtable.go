@@ -84,6 +84,15 @@ func (s *Set) Contains(k uint64) bool {
 	return false
 }
 
+// Reset empties the set in place, reusing the slot array, so round-
+// based callers can keep one table across rounds instead of allocating
+// a fresh one (docs/MEMORY.md). Quiescent use only: no concurrent
+// Insert/Contains may be in flight.
+func (s *Set) Reset() {
+	clear(s.slots)
+	s.count.Store(0)
+}
+
 // Len returns the number of keys inserted.
 func (s *Set) Len() int { return int(s.count.Load()) }
 
@@ -174,6 +183,13 @@ func (m *CountMap) Get(k uint64) int64 {
 		i = (i + 1) & m.mask
 	}
 	return 0
+}
+
+// Reset empties the map in place, reusing both arrays. Quiescent use.
+func (m *CountMap) Reset() {
+	clear(m.keys)
+	clear(m.vals)
+	m.count.Store(0)
 }
 
 // Len returns the number of distinct keys.

@@ -111,13 +111,20 @@ var coreCalls = map[string]coreCall{
 	"Stencil2D":  {pattern: core.Stride, fear: core.Fearless, mask: cStride, worker: true},
 
 	// Block — array[i*s..(i+1)*s] = f(): disjoint chunks, scans, packs.
-	"Chunks":          {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
-	"ScanExclusive":   {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
-	"ScanInclusive":   {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
-	"ScanExclusiveOp": {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
-	"PackIndex":       {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
-	"Filter":          {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
-	"Flatten":         {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
+	// The *Into forms are the destination-passing variants
+	// (docs/MEMORY.md): same access pattern, caller-owned output.
+	"Chunks":            {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
+	"ScanExclusive":     {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
+	"ScanInclusive":     {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
+	"ScanExclusiveOp":   {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
+	"ScanExclusiveInto": {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
+	"ScanInclusiveInto": {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
+	"PackIndex":         {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
+	"PackIndexInto":     {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
+	"Filter":            {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
+	"FilterInto":        {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
+	"Flatten":           {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
+	"FlattenInto":       {pattern: core.Block, fear: core.Fearless, mask: cBlock, worker: true},
 
 	// D&C — divide and conquer: fork/join recursion.
 	"Sort":     {pattern: core.DC, fear: core.Fearless, mask: cDC, worker: true},
@@ -164,7 +171,9 @@ var parallelBodyArg = map[string][]int{
 	"All":                 {2},
 	"SegReduce":           {4, 5},
 	"PackIndex":           {2},
+	"PackIndexInto":       {2},
 	"Filter":              {2},
+	"FilterInto":          {2},
 	"SortBy":              {2},
 	"IsSorted":            {2},
 	"ScanExclusiveOp":     {3},
@@ -188,10 +197,18 @@ func isNilIdent(e ast.Expr) bool {
 }
 
 // callTarget resolves a call's package-qualified target: it returns the
-// import path and selector name for pkg.Fn(...) calls, or ok=false for
-// anything else (method values, locals, conversions).
+// import path and selector name for pkg.Fn(...) calls — including
+// explicitly instantiated generics like arena.Alloc[int32](a, n) — or
+// ok=false for anything else (method values, locals, conversions).
 func callTarget(f *fileInfo, call *ast.CallExpr) (path, name string, ok bool) {
-	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	fun := call.Fun
+	switch v := fun.(type) {
+	case *ast.IndexExpr:
+		fun = v.X
+	case *ast.IndexListExpr:
+		fun = v.X
+	}
+	sel, isSel := fun.(*ast.SelectorExpr)
 	if !isSel {
 		return "", "", false
 	}

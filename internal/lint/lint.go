@@ -55,9 +55,10 @@ import (
 type Role string
 
 const (
-	// RoleSubstrate packages (core, sched, mq, specfor) implement the
-	// primitives: they encapsulate the scared constructs the way a Rust
-	// library encapsulates unsafe blocks. They are censused (how much
+	// RoleSubstrate packages (core, sched, arena, mq, specfor) implement
+	// the primitives and their scratch memory: they encapsulate the
+	// scared constructs the way a Rust library encapsulates unsafe
+	// blocks. They are censused (how much
 	// scared code the substrate contains) but not linted.
 	RoleSubstrate Role = "substrate"
 	// RoleBench packages declare census sites and are fully checked:
@@ -77,6 +78,7 @@ const (
 func roleOf(rel string) Role {
 	switch {
 	case rel == "internal/core" || rel == "internal/sched" ||
+		rel == "internal/arena" ||
 		rel == "internal/mq" || rel == "internal/specfor":
 		return RoleSubstrate
 	case rel == "internal/bench" || strings.HasPrefix(rel, "internal/bench/"):

@@ -59,7 +59,10 @@ var certTargets = map[string]certTarget{
 	"IndChunksUnchecked":  {core.RngInd, false, "monotone+bounds"},
 }
 
-const radixPath = "internal/radix"
+const (
+	radixPath = "internal/radix"
+	arenaPath = "internal/arena"
+)
 
 // ---------------------------------------------------------------------
 // AST walking with an ancestor stack.
@@ -735,8 +738,35 @@ func (p *prover) exprType(e ast.Expr) types.Type {
 	return nil
 }
 
-// makeLen returns the length expression of obj's defining make call, or
-// nil when obj is not a stable make-defined slice.
+// allocLen recognizes the make-equivalent allocation forms and returns
+// the length expression: the builtin make(T, L), and the per-worker
+// scratch checkouts arena.Alloc[T](a, L) (zeroed, exactly like make)
+// and arena.AllocUninit[T](a, L) (length L, but contents are garbage
+// from earlier generations — zeroed=false, so it cannot seed the
+// zero-init side of the scan proof).
+func (p *prover) allocLen(call *ast.CallExpr) (length ast.Expr, zeroed, ok bool) {
+	if name, isB := p.builtinName(call); isB {
+		if name == "make" && len(call.Args) >= 2 {
+			return call.Args[1], true, true
+		}
+		return nil, false, false
+	}
+	pathStr, name, isPkg := callTarget(p.f, call)
+	if !isPkg || !isPath(pathStr, arenaPath) || len(call.Args) != 2 {
+		return nil, false, false
+	}
+	switch name {
+	case "Alloc":
+		return call.Args[1], true, true
+	case "AllocUninit":
+		return call.Args[1], false, true
+	}
+	return nil, false, false
+}
+
+// makeLen returns the length expression of obj's defining allocation
+// (make or an arena checkout), or nil when obj is not a stable
+// allocation-defined slice.
 func (p *prover) makeLen(obj types.Object) ast.Expr {
 	if obj == nil {
 		return nil
@@ -746,13 +776,13 @@ func (p *prover) makeLen(obj types.Object) ast.Expr {
 		return nil
 	}
 	call, ok := unparen(f.def).(*ast.CallExpr)
-	if !ok || len(call.Args) < 2 {
+	if !ok {
 		return nil
 	}
-	if name, isB := p.builtinName(call); !isB || name != "make" {
-		return nil
+	if L, _, isAlloc := p.allocLen(call); isAlloc {
+		return L
 	}
-	return call.Args[1]
+	return nil
 }
 
 // constVal returns an expression's compile-time constant value.
@@ -979,7 +1009,9 @@ func (p *prover) ensureNN() {
 }
 
 // zeroInitContainer reports a definition with all-zero initial
-// contents: make(...), or a var declaration with no value.
+// contents: make(...), arena.Alloc (which clears its checkout), or a
+// var declaration with no value. arena.AllocUninit fails here — its
+// contents are garbage from earlier arena generations.
 func (p *prover) zeroInitContainer(f *objFacts) bool {
 	if f.def == nil {
 		return true // var x [N]T / var x []T
@@ -988,8 +1020,8 @@ func (p *prover) zeroInitContainer(f *objFacts) bool {
 	if !ok {
 		return false
 	}
-	name, isB := p.builtinName(call)
-	return isB && name == "make"
+	_, zeroed, isAlloc := p.allocLen(call)
+	return isAlloc && zeroed
 }
 
 func isIntElem(t types.Type) bool {
@@ -1207,9 +1239,12 @@ func (p *prover) prove(s *targetSite) siteProof {
 			if pathStr, name, isPkg := callTarget(p.f, call); isPkg && isPath(pathStr, corePath) && name == "PackIndex" {
 				return p.provePackIndex(s, offID.Name, def, call, writes, scans, permutes)
 			}
-			if nm, isB := p.builtinName(call); isB && nm == "make" {
+			if _, zeroed, isAlloc := p.allocLen(call); isAlloc {
 				switch {
 				case len(scans) > 0:
+					if !zeroed {
+						return refusal("offsets %q is checked out uninitialized (arena.AllocUninit); the scan proof needs zeroed contents", offID.Name)
+					}
 					return p.proveScan(s, offID.Name, obj, writes, scans, permutes)
 				case len(permutes) > 0:
 					return p.provePermutation(s, offID.Name, obj, writes, permutes)

@@ -6,9 +6,19 @@
 // matrix, and a scatter in which each chunk writes its elements through
 // precomputed disjoint cursors — SngInd with independence guaranteed by
 // the scan (the algorithmic guarantee the paper's Sec 5.1 discusses).
+//
+// The per-pass histograms and the ping-pong buffers live in a reusable
+// Scratch (docs/MEMORY.md): SortPairs checks one out of the calling
+// worker's box stack, so repeated sorts on a pool — the steady state of
+// every benchmark round — allocate nothing once the scratch has grown
+// to the input size. Callers managing their own reuse can hold a
+// Scratch and call SortPairsScratch directly.
 package radix
 
-import "repro/internal/core"
+import (
+	"repro/internal/arena"
+	"repro/internal/core"
+)
 
 const digitBits = 8
 const radixSize = 1 << digitBits
@@ -25,10 +35,35 @@ func blockSizeFor(n int) int {
 	return bs
 }
 
+// Scratch holds the reusable memory of SortPairs: the ping-pong key and
+// value buffers, the (digit, chunk) count matrix, and the pass body.
+// A Scratch grows to the largest sort it has served and is reused
+// without shrinking. It is single-owner: one sort at a time.
+type Scratch struct {
+	keyBuf []uint64
+	valBuf []int32
+	counts []int32
+	body   passBody
+}
+
 // SortPairs sorts keys (and vals along with it) by ascending key,
 // examining only the low `bits` bits of each key. vals may be nil.
-// Both slices are reordered in place; O(n) scratch is allocated.
+// Both slices are reordered in place. Scratch is checked out of the
+// calling worker's box stack, so steady-state calls on a pool allocate
+// nothing; sequential (nil-worker) calls allocate a fresh scratch.
 func SortPairs(w *core.Worker, keys []uint64, vals []int32, bits int) {
+	if w == nil {
+		var s Scratch
+		SortPairsScratch(nil, keys, vals, bits, &s)
+		return
+	}
+	s := arena.AcquireBox[Scratch](w)
+	SortPairsScratch(w, keys, vals, bits, s)
+	arena.ReleaseBox(w, s)
+}
+
+// SortPairsScratch is SortPairs with caller-managed scratch.
+func SortPairsScratch(w *core.Worker, keys []uint64, vals []int32, bits int, s *Scratch) {
 	n := len(keys)
 	if n < 2 {
 		return
@@ -40,16 +75,18 @@ func SortPairs(w *core.Worker, keys []uint64, vals []int32, bits int) {
 	if passes == 0 {
 		passes = 1
 	}
-	keyBuf := make([]uint64, n)
-	var valBuf []int32
+	s.keyBuf = core.EnsureLen(s.keyBuf, n)
 	if vals != nil {
-		valBuf = make([]int32, n)
+		s.valBuf = core.EnsureLen(s.valBuf, n)
 	}
-	srcK, dstK := keys, keyBuf
-	srcV, dstV := vals, valBuf
+	srcK, dstK := keys, s.keyBuf
+	srcV, dstV := vals, []int32(nil)
+	if vals != nil {
+		dstV = s.valBuf
+	}
 	for p := 0; p < passes; p++ {
 		shift := uint(p * digitBits)
-		countingPass(w, srcK, srcV, dstK, dstV, shift)
+		countingPass(w, s, srcK, srcV, dstK, dstV, shift)
 		srcK, dstK = dstK, srcK
 		srcV, dstV = dstV, srcV
 	}
@@ -61,61 +98,105 @@ func SortPairs(w *core.Worker, keys []uint64, vals []int32, bits int) {
 	}
 }
 
+// Phases of passBody.
+const (
+	passCount uint8 = iota
+	passScatter
+)
+
+// passBody is the reusable loop body for one counting-sort pass,
+// ranging over input blocks. Phase passCount histograms each block's
+// digits into the digit-major count matrix; phase passScatter (after
+// the matrix has been exclusive-scanned into write cursors) moves each
+// block's elements through its disjoint cursors.
+type passBody struct {
+	srcK, dstK []uint64
+	srcV, dstV []int32
+	counts     []int32
+	n, bs, nb  int
+	shift      uint
+	phase      uint8
+}
+
+func (p *passBody) RunRange(_ *core.Worker, lo, hi int) {
+	for b := lo; b < hi; b++ {
+		blo := b * p.bs
+		bhi := blo + p.bs
+		if bhi > p.n {
+			bhi = p.n
+		}
+		if p.phase == passCount {
+			var local [radixSize]int32
+			for i := blo; i < bhi; i++ {
+				local[(p.srcK[i]>>p.shift)&(radixSize-1)]++
+			}
+			for d := 0; d < radixSize; d++ {
+				p.counts[d*p.nb+b] = local[d]
+			}
+		} else {
+			var cursor [radixSize]int32
+			for d := 0; d < radixSize; d++ {
+				cursor[d] = p.counts[d*p.nb+b]
+			}
+			for i := blo; i < bhi; i++ {
+				d := (p.srcK[i] >> p.shift) & (radixSize - 1)
+				at := cursor[d]
+				cursor[d]++
+				p.dstK[at] = p.srcK[i]
+				if p.srcV != nil {
+					p.dstV[at] = p.srcV[i]
+				}
+			}
+		}
+	}
+}
+
 // countingPass performs one stable counting-sort pass on the digit at
-// shift, from src into dst.
-func countingPass(w *core.Worker, srcK []uint64, srcV []int32, dstK []uint64, dstV []int32, shift uint) {
+// shift, from src into dst, with all scratch drawn from s. With a
+// warmed scratch it allocates nothing.
+func countingPass(w *core.Worker, s *Scratch, srcK []uint64, srcV []int32, dstK []uint64, dstV []int32, shift uint) {
 	n := len(srcK)
 	bs := blockSizeFor(n)
 	nb := (n + bs - 1) / bs
 	// counts is digit-major: counts[d*nb + b] = occurrences of digit d
 	// in block b. Digit-major layout makes the global exclusive scan
 	// directly yield each (digit, block) write cursor.
-	counts := make([]int32, radixSize*nb)
-	core.ForRange(w, 0, nb, 1, func(b int) {
-		lo, hi := b*bs, (b+1)*bs
-		if hi > n {
-			hi = n
-		}
-		var local [radixSize]int32
-		for i := lo; i < hi; i++ {
-			local[(srcK[i]>>shift)&(radixSize-1)]++
-		}
-		for d := 0; d < radixSize; d++ {
-			counts[d*nb+b] = local[d]
-		}
-	})
-	core.ScanExclusive(w, counts)
-	core.ForRange(w, 0, nb, 1, func(b int) {
-		lo, hi := b*bs, (b+1)*bs
-		if hi > n {
-			hi = n
-		}
-		var cursor [radixSize]int32
-		for d := 0; d < radixSize; d++ {
-			cursor[d] = counts[d*nb+b]
-		}
-		for i := lo; i < hi; i++ {
-			d := (srcK[i] >> shift) & (radixSize - 1)
-			at := cursor[d]
-			cursor[d]++
-			dstK[at] = srcK[i]
-			if srcV != nil {
-				dstV[at] = srcV[i]
-			}
-		}
-	})
+	s.counts = core.EnsureLen(s.counts, radixSize*nb)
+	b := &s.body
+	b.srcK, b.srcV, b.dstK, b.dstV = srcK, srcV, dstK, dstV
+	b.counts, b.n, b.bs, b.nb, b.shift = s.counts, n, bs, nb, shift
+	b.phase = passCount
+	core.CountDynamic(core.Block)
+	if w == nil || nb <= 1 {
+		b.RunRange(nil, 0, nb)
+	} else {
+		w.ForBody(0, nb, 1, b)
+	}
+	core.ScanExclusive(w, s.counts)
+	b.phase = passScatter
+	core.CountDynamic(core.SngInd)
+	if w == nil || nb <= 1 {
+		b.RunRange(nil, 0, nb)
+	} else {
+		w.ForBody(0, nb, 1, b)
+	}
+	b.srcK, b.srcV, b.dstK, b.dstV, b.counts = nil, nil, nil, nil, nil
 }
 
-// SortU32 sorts keys ascending, examining only the low `bits` bits.
+// SortU32 sorts keys ascending, examining only the low `bits` bits. The
+// widened copy lives in the worker's arena.
 func SortU32(w *core.Worker, keys []uint32, bits int) {
 	n := len(keys)
 	if n < 2 {
 		return
 	}
-	wide := make([]uint64, n)
+	a := arena.Of(w)
+	m := a.Mark()
+	wide := arena.AllocUninit[uint64](a, n)
 	core.ForRange(w, 0, n, 0, func(i int) { wide[i] = uint64(keys[i]) })
 	SortPairs(w, wide, nil, bits)
 	core.ForRange(w, 0, n, 0, func(i int) { keys[i] = uint32(wide[i]) })
+	a.Release(m)
 }
 
 // BitsFor returns the number of bits needed to represent max.

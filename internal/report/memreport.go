@@ -1,0 +1,83 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// MemReport renders the memory-telemetry table (docs/MEMORY.md): the
+// steady-state allocs/op and B/op of every BenchmarkMem* hot path,
+// before the arena conversion (BENCH_mem_before.json, committed once)
+// side by side with the current measurement (BENCH_mem.json, refreshed
+// by `make bench-mem`). The reduction column is the headline of the
+// zero-allocation work: a converted kernel's steady state should sit
+// within a few allocs of zero, and the primitives at exactly zero.
+// Benchmarks added after the "before" snapshot (the *Into destination-
+// passing forms, which had no pre-arena counterpart) show "-" in the
+// before columns.
+func MemReport(w io.Writer, beforePath, afterPath string) error {
+	if beforePath == "" {
+		beforePath = "BENCH_mem_before.json"
+	}
+	if afterPath == "" {
+		afterPath = "BENCH_mem.json"
+	}
+	before, err := loadBenchJSON(beforePath)
+	if err != nil {
+		return err
+	}
+	after, err := loadBenchJSON(afterPath)
+	if err != nil {
+		return fmt.Errorf("%w (run `make bench-mem` to produce it)", err)
+	}
+	names := make([]string, 0, len(after))
+	for name := range after {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "Steady-state allocation telemetry: %s vs %s\n", beforePath, afterPath)
+	fmt.Fprintf(w, "%-32s %12s %12s %8s %14s %14s\n",
+		"benchmark", "allocs/op", "allocs/op", "factor", "B/op", "B/op")
+	fmt.Fprintf(w, "%-32s %12s %12s %8s %14s %14s\n",
+		"", "(before)", "(after)", "", "(before)", "(after)")
+	for _, name := range names {
+		newM := after[name]
+		oldM, hasOld := before[name]
+		oldAllocs, oldBytes := "-", "-"
+		factor := "-"
+		if hasOld {
+			oldAllocs = fmt.Sprintf("%.0f", oldM["allocs_op"])
+			oldBytes = fmt.Sprintf("%.0f", oldM["B_op"])
+			if na := newM["allocs_op"]; na > 0 {
+				factor = fmt.Sprintf("%.1fx", oldM["allocs_op"]/na)
+			} else if oldM["allocs_op"] > 0 {
+				factor = "inf"
+			} else {
+				factor = "1.0x"
+			}
+		}
+		fmt.Fprintf(w, "%-32s %12s %12.0f %8s %14s %14.0f\n",
+			name, oldAllocs, newM["allocs_op"], factor, oldBytes, newM["B_op"])
+	}
+	fmt.Fprintln(w, "(before = pre-arena snapshot; factor = before/after allocs per round;")
+	fmt.Fprintln(w, " \"-\" = benchmark added with the arena conversion, no pre-arena number)")
+	return nil
+}
+
+// loadBenchJSON reads a cmd/benchjson export: benchmark name -> metric
+// unit -> value.
+func loadBenchJSON(path string) (map[string]map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]map[string]float64{}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return out, nil
+}

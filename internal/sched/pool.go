@@ -62,6 +62,20 @@ type Worker struct {
 	// check; a change means a thief stole from us. Owner-only.
 	lastRaid int64
 
+	// scratch is an opaque per-worker scratch slot, reserved for
+	// higher layers (internal/arena hangs its per-worker bump arena
+	// and typed box stacks here). Owner-only during execution; Pool
+	// readers (Scratches) may inspect it only while the pool is
+	// quiescent.
+	scratch any
+
+	// forFrame cache: forFrames[d] is the reusable split frame for a
+	// lazily split ForBody at nesting depth d on this worker (see
+	// forbody.go). Like join frames, splits nest in strict LIFO order,
+	// so reuse by depth is safe. Owner-only.
+	forFrames []*forFrame
+	forDepth  int
+
 	// The deque is written by thieves (top, steals); keep it off the
 	// cache lines holding the owner-only state above and the counters
 	// below (the deque pads its own interior fields).
@@ -232,6 +246,26 @@ func (w *Worker) ID() int { return w.id }
 
 // Pool returns the pool this worker belongs to.
 func (w *Worker) Pool() *Pool { return w.pool }
+
+// Scratch returns the worker's opaque scratch slot (nil until
+// SetScratch). Owner-only: call it from code running on this worker.
+func (w *Worker) Scratch() any { return w.scratch }
+
+// SetScratch installs the worker's scratch slot, typically a lazily
+// created per-worker arena. Owner-only.
+func (w *Worker) SetScratch(s any) { w.scratch = s }
+
+// Scratches snapshots every worker's scratch slot. It must only be
+// called while the pool is quiescent (no Do in flight): the slots are
+// owner-written without synchronization. It exists so harnesses can
+// reset or inspect per-worker arenas between benchmark rounds.
+func (p *Pool) Scratches() []any {
+	out := make([]any, len(p.workers))
+	for i, w := range p.workers {
+		out[i] = w.scratch
+	}
+	return out
+}
 
 // Spawn schedules t to run asynchronously on the pool. The caller is
 // responsible for tracking completion (Join does this automatically).

@@ -24,6 +24,16 @@ func New(n int32) *UF {
 // Len returns the number of elements.
 func (u *UF) Len() int { return len(u.parent) }
 
+// Reset returns every element to its own singleton set, reusing the
+// parent array, so round-based callers can keep one forest across
+// rounds instead of allocating a fresh one (docs/MEMORY.md). Quiescent
+// use only: no concurrent Find/Union may be in flight.
+func (u *UF) Reset() {
+	for i := range u.parent {
+		u.parent[i].Store(int32(i))
+	}
+}
+
 // Find returns the current root of x, halving paths as it walks. Under
 // concurrent unions the returned root may be stale by the time the
 // caller uses it; Union accounts for that by revalidating with CAS.
