@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test lint certify certify-update race bench bench-sched bench-mem bench-mem-gate report figures inputs clean
+.PHONY: build test lint certify certify-update race bench bench-sched bench-mem bench-mem-gate bench-graph bench-graph-gate report figures inputs clean
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,22 @@ bench-mem:
 bench-mem-gate:
 	$(GO) test -run xxx -bench '$(MEM_BENCH)' -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson -out BENCH_mem.gate.json -gate BENCH_mem.json
 	rm -f BENCH_mem.gate.json
+
+# Graph-kernel wall-clock benchmarks (bench_graph_test.go): hybrid BFS,
+# batched delta-stepping SSSP, and the degree-aware CSR builder at
+# small scale, exported to BENCH_graph.json. The committed
+# BENCH_graph_before.json is the pre-batching snapshot that `rpbreport
+# -what graph` diffs against (docs/GRAPH.md). bench-graph-gate reruns
+# into a scratch file and gates ns/op-adjacent allocs against the
+# committed BENCH_graph.json, the same regression discipline as
+# bench-mem-gate.
+GRAPH_BENCH = BenchmarkGraph
+bench-graph:
+	$(GO) test -run xxx -bench '$(GRAPH_BENCH)' -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson -out BENCH_graph.json
+
+bench-graph-gate:
+	$(GO) test -run xxx -bench '$(GRAPH_BENCH)' -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson -out BENCH_graph.gate.json -gate BENCH_graph.json
+	rm -f BENCH_graph.gate.json
 
 # Regenerate every table and figure at small scale.
 report:

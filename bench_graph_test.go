@@ -1,0 +1,90 @@
+// Steady-state graph-kernel benchmarks: the data source behind
+// BENCH_graph.json (docs/GRAPH.md). Every BenchmarkGraph* measures the
+// wall-clock and allocation steady state of a MultiQueue-scheduled (or
+// direction-optimizing) graph kernel: instance and pool built once, one
+// warm-up round outside the timer, then b.N timed rounds reusing the
+// instance's persistent frontiers and scratch. `make bench-graph`
+// exports them via cmd/benchjson; CI reruns them with `benchjson -gate`
+// against the committed BENCH_graph.json so the graph hot paths cannot
+// silently start allocating again. BENCH_graph_before.json preserves
+// the same benchmarks measured before the batched-MultiQueue /
+// direction-optimizing rework, rendered side by side by
+// `rpbreport -what graph`.
+package repro
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// benchGraphKernel measures one registered graph benchmark's library
+// expression in its steady state at GOMAXPROCS workers — the
+// configuration of the ≥1.5x bench-graph acceptance gate.
+func benchGraphKernel(b *testing.B, name, input string) {
+	spec, err := bench.Find(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	core.SetMode(core.ModeUnchecked)
+	inst := spec.Make(input, bench.ScaleSmall)
+	pool := core.NewPool(runtime.GOMAXPROCS(0))
+	defer pool.Close()
+	b.ReportAllocs()
+	pool.Do(func(w *core.Worker) {
+		runOnce := func() {
+			if inst.Reset != nil {
+				inst.Reset()
+			}
+			inst.RunLibrary(w)
+		}
+		runOnce() // warm-up: grow persistent frontiers and scratch
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runOnce()
+		}
+		b.StopTimer()
+	})
+	if err := inst.Verify(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkGraphBFSRmat(b *testing.B)  { benchGraphKernel(b, "bfs", graph.InputRMAT) }
+func BenchmarkGraphBFSLink(b *testing.B)  { benchGraphKernel(b, "bfs", graph.InputLink) }
+func BenchmarkGraphBFSRoad(b *testing.B)  { benchGraphKernel(b, "bfs", graph.InputRoad) }
+func BenchmarkGraphSSSPRmat(b *testing.B) { benchGraphKernel(b, "sssp", graph.InputRMAT) }
+func BenchmarkGraphSSSPLink(b *testing.B) { benchGraphKernel(b, "sssp", graph.InputLink) }
+func BenchmarkGraphSSSPRoad(b *testing.B) { benchGraphKernel(b, "sssp", graph.InputRoad) }
+
+// BenchmarkGraphBuildCSR measures the steady state of CSR construction
+// on the rmat edge list — degree count, offset scan, and edge scatter —
+// through a reused graph.Builder, whose buffers grow on the warm-up
+// build and are checked out again on every later round.
+func BenchmarkGraphBuildCSR(b *testing.B) {
+	core.SetMode(core.ModeUnchecked)
+	pool := core.NewPool(runtime.GOMAXPROCS(0))
+	defer pool.Close()
+	b.ReportAllocs()
+	pool.Do(func(w *core.Worker) {
+		edges := graph.RMAT(w, 14, 6, 0xc5a)
+		sym := graph.Symmetrize(w, edges)
+		n := int32(1 << 14)
+		var bld graph.Builder
+		g := bld.Build(w, n, sym)
+		if g.M() == 0 {
+			b.Fatal("empty graph")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g = bld.Build(w, n, sym)
+		}
+		b.StopTimer()
+		if g.N != n {
+			b.Fatal("bad build")
+		}
+	})
+}

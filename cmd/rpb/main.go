@@ -99,6 +99,7 @@ func main() {
 	inst := spec.Make(in, sc)
 	if *dyn {
 		core.ResetDynamicCounts()
+		defer core.EnableDynamicCensus(core.EnableDynamicCensus(true))
 	}
 	secs, err := bench.Measure(inst, v, *threads, *reps)
 	if err != nil {

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		what    = flag.String("what", "all", "artifact: table1, table2, table3, fig3, fig4, fig5a, fig5b, fig6, dyncensus, fearreport, sched, mem, coverage, certs, all")
+		what    = flag.String("what", "all", "artifact: table1, table2, table3, fig3, fig4, fig5a, fig5b, fig6, dyncensus, fearreport, sched, mem, graph, coverage, certs, all")
 		scale   = flag.String("scale", "small", "input scale: test, small, or default")
 		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "parallel thread count (the paper's 24-core point)")
 		reps    = flag.Int("reps", 3, "repetitions per measurement")
@@ -89,6 +89,7 @@ func main() {
 		return report.SchedReport(out, sc, "sort", counts)
 	})
 	run("mem", func() error { return report.MemReport(out, "", "") })
+	run("graph", func() error { return report.GraphReport(out, "", "", sc, *threads) })
 	run("coverage", func() error { report.Coverage(out); return nil })
 	run("certs", func() error {
 		return report.Certs(out, report.Fig5Config{Scale: sc, Threads: *threads, Reps: *reps})

@@ -68,6 +68,13 @@ type Mark struct {
 	off  int
 }
 
+// Standalone returns a free-standing arena owned by the calling
+// goroutine rather than hung off a pool worker. Long-running goroutines
+// outside the scheduler (the mq worker loops staging push/pop batches)
+// use it to get the same checkout discipline and steady-state reuse as
+// pool workers.
+func Standalone() *Arena { return new(Arena) }
+
 // Of returns the per-worker arena for w, creating it on first use. A
 // nil worker yields a nil arena, for which every checkout transparently
 // falls back to make — sequential code paths need no special casing.

@@ -9,32 +9,218 @@ import (
 	"repro/internal/mq"
 )
 
-// bfs — breadth-first search driven by the MultiQueue (paper Sec 6):
+// bfs — breadth-first search. The library expression is a hybrid
+// direction-optimizing traversal (Beamer's algorithm, docs/GRAPH.md):
+// level-synchronous top-down steps claim frontier neighbors with
+// WriteMin on the distance array (AW) until the frontier's edge mass
+// dominates the unexplored remainder, then bottom-up steps scan the
+// transpose from each unvisited vertex looking for any parent in a
+// bitmap frontier — word-disjoint plain writes, Fearless Block — and
+// the traversal switches back once the frontier thins out. The direct
+// expression keeps the paper's MultiQueue formulation (Sec 6):
 // long-running workers pop (level, vertex) tasks in relaxed priority
-// order, relax neighbors with WriteMin on the distance array (AW), and
-// push improved vertices back. Task dispatch is fully dynamic — the
-// paper's point is that this dynamism adds no fear beyond what the AW
-// accesses already impose.
+// order, relax neighbors, and push improvements — the dynamism adds no
+// fear beyond what the AW accesses already impose.
 
 type bfsInstance struct {
 	g    *graph.Graph
+	tg   *graph.Graph // transpose: in-edges scanned by bottom-up steps
 	src  int32
 	dist []uint32 // atomic access during runs
 	want []uint32
+
+	parent []int32 // parent[v]: BFS-tree edge parent[v]->v (library runs)
+
+	// Persistent frontier state, reused across runs (0-alloc steady
+	// state): two sparse vertex lists and two packed bitmaps.
+	fa, fb        []int32
+	curBM, nextBM []uint64
+
+	// Direction-switch thresholds (Beamer's alpha/beta). Injectable so
+	// tests can force either direction; newBFS sets the defaults.
+	alpha, beta int64
+
+	mqStats mq.Stats // counters from the last direct (MultiQueue) run
 }
 
 const distInf = ^uint32(0)
 
+// Beamer's published constants: go bottom-up when the frontier's edges
+// exceed 1/alpha of the unexplored edges, return top-down when the
+// frontier shrinks below 1/beta of the vertices.
+const (
+	bfsAlpha = 14
+	bfsBeta  = 24
+)
+
+// bfsSerialCutoff: top-down steps whose frontier carries less edge mass
+// than this are expanded sequentially — the step is exclusive, so the
+// claim needs no atomics and no spawn. Sized so the serial step costs
+// about as much as the parallel machinery it avoids; on high-diameter
+// inputs (road) nearly every level is this thin.
+const bfsSerialCutoff = 4096
+
+func newBFS(g, tg *graph.Graph, src int32) *bfsInstance {
+	words := (int(g.N) + 63) / 64
+	b := &bfsInstance{
+		g: g, tg: tg, src: src,
+		dist:   make([]uint32, g.N),
+		parent: make([]int32, g.N),
+		fa:     make([]int32, g.N),
+		fb:     make([]int32, g.N),
+		curBM:  make([]uint64, words),
+		nextBM: make([]uint64, words),
+		alpha:  bfsAlpha,
+		beta:   bfsBeta,
+	}
+	b.reset()
+	return b
+}
+
 func (b *bfsInstance) reset() {
 	for i := range b.dist {
 		b.dist[i] = distInf
+		b.parent[i] = -1
 	}
 }
 
+// bfsCnt carries a bottom-up step's (vertices, frontier edges) totals
+// through MapReduce.
+type bfsCnt struct{ verts, edges int64 }
+
+// runHybrid is the direction-optimizing library expression.
+func (b *bfsInstance) runHybrid(w *core.Worker) {
+	n := int(b.g.N)
+	b.dist[b.src] = 0
+	b.parent[b.src] = b.src
+	b.fa[0] = b.src
+	cur := b.fa[:1]
+	spare := b.fb
+	level := uint32(0)
+	frontierVerts := int64(1)
+	frontierEdges := int64(b.g.Degree(b.src))
+	remEdges := int64(b.g.M())
+	bottomUp := false
+
+	for frontierVerts > 0 {
+		remEdges -= frontierEdges
+		nd := level + 1
+
+		// Enter bottom-up only when the frontier's edge mass dominates
+		// the unexplored remainder AND the frontier is wide enough to
+		// survive the exit condition — otherwise a high-diameter tail
+		// (road) would thrash bitmap builds and packs every level.
+		if !bottomUp && frontierEdges*b.alpha > remEdges && frontierVerts*b.beta >= int64(n) {
+			// Dense enough: switch to bottom-up over a bitmap frontier.
+			bottomUp = true
+			core.Fill(w, b.curBM, 0)
+			fr := cur
+			core.ForRange(w, 0, len(fr), 0, func(i int) {
+				core.SetBit(b.curBM, fr[i])
+			})
+		}
+
+		if bottomUp {
+			cnt := b.bottomUpStep(w, nd)
+			frontierVerts, frontierEdges = cnt.verts, cnt.edges
+			b.curBM, b.nextBM = b.nextBM, b.curBM
+			if frontierVerts > 0 && frontierVerts*b.beta < int64(n) {
+				// Frontier thinned out: pack the bitmap back to a sparse
+				// list and resume top-down.
+				bottomUp = false
+				bm := b.curBM
+				cur = core.PackIndexInto(w, n, func(i int) bool {
+					return core.TestBit(bm, int32(i))
+				}, b.fa)
+				spare = b.fb
+			}
+		} else if frontierVerts+frontierEdges <= bfsSerialCutoff {
+			// Tiny frontier: expand sequentially. The step is exclusive
+			// (no parallel tasks in flight), so plain claims suffice.
+			nxt := spare[:0]
+			var edges int64
+			for _, v := range cur {
+				for _, u := range b.g.Neighbors(v) {
+					if b.dist[u] == distInf {
+						b.dist[u] = nd
+						b.parent[u] = v
+						nxt = append(nxt, u)
+						edges += int64(b.g.Degree(u))
+					}
+				}
+			}
+			spare = cur[:cap(cur)]
+			cur = nxt
+			frontierVerts, frontierEdges = int64(len(nxt)), edges
+		} else {
+			var nextCnt atomic.Int32
+			var nextEdges atomic.Int64
+			fr, nxt := cur, spare
+			core.ForRange(w, 0, len(fr), 0, func(i int) {
+				v := fr[i]
+				for _, u := range b.g.Neighbors(v) {
+					if core.WriteMinU32(&b.dist[u], nd) {
+						// Level-synchronous: exactly one claimer wins each
+						// vertex, so the parent write has a single writer.
+						b.parent[u] = v
+						//lint:scared frontier append: the atomic fetch-add hands each winner a unique slot
+						nxt[nextCnt.Add(1)-1] = u
+						nextEdges.Add(int64(b.g.Degree(u)))
+					}
+				}
+			})
+			spare = cur[:cap(cur)]
+			cur = nxt[:nextCnt.Load()]
+			frontierVerts, frontierEdges = int64(len(cur)), nextEdges.Load()
+		}
+		level = nd
+	}
+}
+
+// bottomUpStep scans the transpose from every unvisited vertex, looking
+// for any in-neighbor in the current bitmap frontier. Each parallel
+// task owns one 64-vertex bitmap word, so its writes to dist, parent,
+// and nextBM are word-disjoint plain stores; the previous level's
+// bitmap is read-only during the step.
+func (b *bfsInstance) bottomUpStep(w *core.Worker, nd uint32) bfsCnt {
+	words := len(b.curBM)
+	n := int32(b.g.N)
+	return core.MapReduce(w, words, bfsCnt{}, func(wi int) bfsCnt {
+		var cnt bfsCnt
+		var nextW uint64
+		base := int32(wi) * 64
+		hi := base + 64
+		if hi > n {
+			hi = n
+		}
+		for v := base; v < hi; v++ {
+			if b.dist[v] != distInf {
+				continue
+			}
+			for _, u := range b.tg.Neighbors(v) {
+				if core.TestBit(b.curBM, u) {
+					b.dist[v] = nd
+					b.parent[v] = u
+					nextW |= 1 << uint32(v-base)
+					cnt.verts++
+					cnt.edges += int64(b.g.Degree(v))
+					break
+				}
+			}
+		}
+		b.nextBM[wi] = nextW
+		return cnt
+	}, func(a, c bfsCnt) bfsCnt {
+		return bfsCnt{verts: a.verts + c.verts, edges: a.edges + c.edges}
+	})
+}
+
+// run is the MultiQueue expression (direct mode): one vertex per queue
+// operation, kept as the paper's Sec 6 baseline.
 func (b *bfsInstance) run(nWorkers int) {
 	atomic.StoreUint32(&b.dist[b.src], 0)
 	seeds := []mq.Item{{Pri: 0, Val: uint64(b.src)}}
-	mq.Process(nWorkers, seeds, func(_ int, it mq.Item, push mq.Pusher) {
+	b.mqStats = mq.ProcessOpt(nWorkers, seeds, mq.Options{}, func(_ int, it mq.Item, push mq.Pusher) {
 		v := int32(it.Val)
 		d := uint32(it.Pri)
 		if atomic.LoadUint32(&b.dist[v]) < d {
@@ -49,15 +235,7 @@ func (b *bfsInstance) run(nWorkers int) {
 	})
 }
 
-func (b *bfsInstance) runLibrary(w *core.Worker) {
-	// The MQ manages its own long-running workers; the pool worker count
-	// (or 1 for a nil worker) sets the parallelism.
-	n := 1
-	if w != nil {
-		n = w.Pool().Workers()
-	}
-	b.run(n)
-}
+func (b *bfsInstance) runLibrary(w *core.Worker) { b.runHybrid(w) }
 
 func (b *bfsInstance) runDirect(nThreads int) { b.run(nThreads) }
 
@@ -65,6 +243,45 @@ func (b *bfsInstance) verify() error {
 	for v := range b.dist {
 		if b.dist[v] != b.want[v] {
 			return fmt.Errorf("bfs: dist[%d] = %d, want %d", v, b.dist[v], b.want[v])
+		}
+	}
+	return nil
+}
+
+// verifyParents checks BFS-tree validity after a library (hybrid) run:
+// every reached non-source vertex has a parent one level closer along a
+// real edge, and unreached vertices have none.
+func (b *bfsInstance) verifyParents() error {
+	for v := int32(0); v < b.g.N; v++ {
+		p := b.parent[v]
+		if b.dist[v] == distInf {
+			if p != -1 {
+				return fmt.Errorf("bfs: unreached %d has parent %d", v, p)
+			}
+			continue
+		}
+		if v == b.src {
+			if p != b.src {
+				return fmt.Errorf("bfs: source parent = %d", p)
+			}
+			continue
+		}
+		if p < 0 || p >= b.g.N {
+			return fmt.Errorf("bfs: reached %d has no parent", v)
+		}
+		if b.dist[p]+1 != b.dist[v] {
+			return fmt.Errorf("bfs: parent edge %d->%d spans levels %d->%d",
+				p, v, b.dist[p], b.dist[v])
+		}
+		found := false
+		for _, u := range b.g.Neighbors(p) {
+			if u == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("bfs: parent edge %d->%d not in graph", p, v)
 		}
 	}
 	return nil
@@ -94,24 +311,24 @@ func bfsOracle(g *graph.Graph, src int32) []uint32 {
 }
 
 func init() {
-	core.DeclareSite("bfs", "task: own distance read", core.AW)
-	core.DeclareSite("bfs", "task: neighbor list read", core.AW)
-	core.DeclareSite("bfs", "relax: neighbor distance WriteMin", core.AW)
+	core.DeclareSite("bfs", "topdown: distance WriteMin claim", core.AW)
+	core.DeclareSite("bfs", "topdown: parent write + frontier append on claim", core.AW)
+	core.DeclareSite("bfs", "frontier: bitmap bit set", core.AW)
+	core.DeclareSite("bfs", "bottomup: word-owner dist/parent/bitmap writes", core.RO)
+	core.DeclareSite("bfs", "frontier: sparse list scatter to bitmap", core.Stride)
+	core.DeclareSite("bfs", "frontier: bitmap pack to sparse list", core.Block)
+	core.DeclareSite("bfs", "relax: neighbor distance WriteMin (direct)", core.AW)
 
 	Register(Spec{
 		Name:   "bfs",
 		Long:   "breadth-first search",
-		Inputs: []string{graph.InputLink, graph.InputRoad},
+		Inputs: []string{graph.InputLink, graph.InputRMAT, graph.InputRoad},
 		Make: func(input string, scale Scale) *Instance {
 			g := graph.LoadUndirected(nil, input, scale, 0xbf5)
-			src := int32(0)
-			b := &bfsInstance{
-				g:    g,
-				src:  src,
-				dist: make([]uint32, g.N),
-				want: bfsOracle(g, src),
-			}
-			b.reset()
+			var tb graph.Builder
+			tg := tb.Transpose(nil, g)
+			b := newBFS(g, tg, 0)
+			b.want = bfsOracle(g, 0)
 			return &Instance{
 				RunLibrary: b.runLibrary,
 				RunDirect:  b.runDirect,

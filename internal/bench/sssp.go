@@ -9,30 +9,114 @@ import (
 	"repro/internal/mq"
 )
 
-// sssp — single-source shortest paths: relaxed Dijkstra over the
-// MultiQueue (paper Sec 6 / Postnikova et al.). Workers pop the
-// (probabilistically) closest unsettled vertex, relax its out-edges
-// with WriteMin (AW), and push improvements. Priority inversions from
-// the relaxed queue cost wasted work, never wrong answers: stale tasks
-// are dropped against the distance array.
+// sssp — single-source shortest paths. The library expression is
+// delta-stepping (Meyer & Sanders) layered on the batched MultiQueue
+// (docs/GRAPH.md): task priority is the distance bucket floor(d/delta),
+// workers pop whole buckets of vertices per lock acquisition
+// (mq.ProcessBatch), relax out-edges with WriteMin (AW), and stage the
+// improved vertices in per-worker buffers that flush to the queue in
+// batches. The direct expression keeps the paper's relaxed Dijkstra
+// (Sec 6 / Postnikova et al.): one vertex per queue operation, priority
+// = exact tentative distance. In both, priority inversions from the
+// relaxed queue cost wasted work, never wrong answers: stale tasks are
+// dropped against the distance array, and the distance array — not the
+// queue order — defines the result.
 
 type ssspInstance struct {
-	g    *graph.WGraph
-	src  int32
-	dist []uint32 // atomic access during runs
-	want []uint32
+	g          *graph.WGraph
+	src        int32
+	deltaShift uint32   // log2 of the delta-stepping bucket width
+	dist       []uint32 // atomic access during runs
+	qb         []uint32 // bucket each vertex is queued at (distInf: not queued)
+	want       []uint32
+
+	mqStats mq.Stats // counters from the last run (either mode)
+}
+
+func newSSSP(g *graph.WGraph, src int32) *ssspInstance {
+	s := &ssspInstance{
+		g:          g,
+		src:        src,
+		deltaShift: deltaFor(g),
+		dist:       make([]uint32, g.N),
+		qb:         make([]uint32, g.N),
+	}
+	s.reset()
+	return s
 }
 
 func (s *ssspInstance) reset() {
 	for i := range s.dist {
 		s.dist[i] = distInf
+		s.qb[i] = distInf
 	}
 }
 
+// deltaFor picks the bucket width: maxW/avgDeg (the classic heuristic —
+// one bucket's worth of relaxations roughly matches one vertex's edge
+// fan-out) rounded down to a power of two, so the per-relaxation bucket
+// computation is a shift instead of a division. Returns the shift.
+func deltaFor(g *graph.WGraph) uint32 {
+	var maxW uint32 = 1
+	for _, w := range g.Wgt {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	avgDeg := int64(g.M()) / int64(g.N)
+	if avgDeg < 1 {
+		avgDeg = 1
+	}
+	d := int64(maxW) / avgDeg
+	var shift uint32
+	for d >= 2 {
+		d >>= 1
+		shift++
+	}
+	return shift
+}
+
+// runDelta is the delta-stepping library expression over the batched
+// queue.
+func (s *ssspInstance) runDelta(nWorkers int) {
+	atomic.StoreUint32(&s.dist[s.src], 0)
+	shift := s.deltaShift
+	seeds := []mq.Item{{Pri: 0, Val: uint64(s.src)}}
+	s.mqStats = mq.ProcessBatch(nWorkers, seeds, mq.Options{}, func(_ int, it mq.Item, push mq.Pusher) {
+		v := int32(it.Val)
+		// Leave the bucket BEFORE reading the distance: Go atomics are
+		// sequentially consistent, so a relaxer that observed our old
+		// bucket marker (and therefore skipped its re-queue) must have
+		// written its improved distance before we read it here — no
+		// improvement is ever both unqueued and unseen.
+		atomic.StoreUint32(&s.qb[v], distInf)
+		d := atomic.LoadUint32(&s.dist[v])
+		if uint64(d>>shift) < it.Pri {
+			return // superseded: v moved to an earlier bucket
+		}
+		adj, wgt := s.g.WNeighbors(v)
+		for i, u := range adj {
+			nd := d + wgt[i]
+			if core.WriteMinU32(&s.dist[u], nd) {
+				// Re-queue only when u is not already queued at this
+				// bucket or earlier: one queue entry covers all further
+				// same-bucket improvements, the dedup that makes bucket
+				// priorities cheaper than exact distances.
+				nb := nd >> shift
+				if core.WriteMinU32(&s.qb[u], nb) {
+					push.Push(mq.Item{Pri: uint64(nb), Val: uint64(u)})
+				}
+			}
+		}
+	})
+}
+
+// run is the relaxed-Dijkstra direct expression: exact distances as
+// priorities, one vertex per queue operation.
 func (s *ssspInstance) run(nWorkers int) {
 	atomic.StoreUint32(&s.dist[s.src], 0)
 	seeds := []mq.Item{{Pri: 0, Val: uint64(s.src)}}
-	mq.Process(nWorkers, seeds, func(_ int, it mq.Item, push mq.Pusher) {
+	s.mqStats = mq.ProcessOpt(nWorkers, seeds, mq.Options{}, func(_ int, it mq.Item, push mq.Pusher) {
 		v := int32(it.Val)
 		d := uint32(it.Pri)
 		if atomic.LoadUint32(&s.dist[v]) < d {
@@ -53,7 +137,7 @@ func (s *ssspInstance) runLibrary(w *core.Worker) {
 	if w != nil {
 		n = w.Pool().Workers()
 	}
-	s.run(n)
+	s.runDelta(n)
 }
 
 func (s *ssspInstance) runDirect(nThreads int) { s.run(nThreads) }
@@ -132,25 +216,43 @@ func dijkstraOracle(g *graph.WGraph, src int32) []uint32 {
 	return dist
 }
 
+// GraphQueueTelemetry runs sssp once in each queue discipline at the
+// given scale and thread count and returns the MultiQueue operation
+// counters: single-item relaxed Dijkstra vs batched delta-stepping. The
+// locks-per-popped-item drop is the headline of `rpbreport -what
+// graph`.
+func GraphQueueTelemetry(scale Scale, threads int) (single, batched mq.Stats, err error) {
+	g := graph.LoadUndirectedWeighted(nil, graph.InputRMAT, scale, 0x555)
+	s := newSSSP(g, 0)
+	s.want = dijkstraOracle(g, 0)
+	s.run(threads)
+	if err = s.verify(); err != nil {
+		return
+	}
+	single = s.mqStats
+	s.reset()
+	s.runDelta(threads)
+	if err = s.verify(); err != nil {
+		return
+	}
+	batched = s.mqStats
+	return
+}
+
 func init() {
-	core.DeclareSite("sssp", "task: own distance read", core.AW)
+	core.DeclareSite("sssp", "task: own distance read + bucket staleness", core.AW)
 	core.DeclareSite("sssp", "task: neighbor/weight read", core.AW)
 	core.DeclareSite("sssp", "relax: neighbor distance WriteMin", core.AW)
+	core.DeclareSite("sssp", "push: batched bucket re-queue", core.AW)
 
 	Register(Spec{
 		Name:   "sssp",
 		Long:   "single-source shortest path",
-		Inputs: []string{graph.InputLink, graph.InputRoad},
+		Inputs: []string{graph.InputLink, graph.InputRMAT, graph.InputRoad},
 		Make: func(input string, scale Scale) *Instance {
 			g := graph.LoadUndirectedWeighted(nil, input, scale, 0x555)
-			src := int32(0)
-			s := &ssspInstance{
-				g:    g,
-				src:  src,
-				dist: make([]uint32, g.N),
-				want: dijkstraOracle(g, src),
-			}
-			s.reset()
+			s := newSSSP(g, 0)
+			s.want = dijkstraOracle(g, 0)
 			return &Instance{
 				RunLibrary: s.runLibrary,
 				RunDirect:  s.runDirect,

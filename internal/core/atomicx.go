@@ -152,6 +152,36 @@ func WriteMinU32(p *uint32, v uint32) bool {
 	}
 }
 
+// SetBit atomically sets bit i of the packed bitmap bm (bit i%64 of
+// word bm[i/64]), returning true when this call flipped it from 0 to 1.
+// This is the claim primitive of bitmap frontiers (direction-optimizing
+// BFS): concurrent setters of distinct bits in one word race on the
+// word, so the access is AW; the boolean result makes the claim exact —
+// exactly one caller wins each bit. Implemented as a CAS loop (an
+// atomic fetch-OR needs Go 1.23's atomic.OrUint64).
+func SetBit(bm []uint64, i int32) bool {
+	countDyn(AW)
+	p := &bm[uint32(i)>>6]
+	mask := uint64(1) << (uint32(i) & 63)
+	for {
+		old := atomic.LoadUint64(p)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(p, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// TestBit reads bit i of the packed bitmap bm with a plain load. Use it
+// only where a racing read is benign for the algorithm (level-
+// synchronous frontiers read the previous level's bitmap, which no one
+// writes during the step).
+func TestBit(bm []uint64, i int32) bool {
+	return bm[uint32(i)>>6]&(uint64(1)<<(uint32(i)&63)) != 0
+}
+
 // WriteMinU64 is WriteMinU32 for 64-bit slots.
 func WriteMinU64(p *uint64, v uint64) bool {
 	countDyn(AW)

@@ -256,6 +256,7 @@ func TestReducePropertyMatchesFold(t *testing.T) {
 }
 
 func TestDynamicCountsTrackInvocations(t *testing.T) {
+	defer EnableDynamicCensus(EnableDynamicCensus(true))
 	ResetDynamicCounts()
 	ForRange(nil, 0, 10, 0, func(int) {})
 	Chunks(nil, make([]int, 10), 2, func(int, []int) {})

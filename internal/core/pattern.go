@@ -259,7 +259,24 @@ func TakeCensus() Census {
 // at run time — a dynamic complement to the static census.
 var dynCounts [numPatterns]atomic.Int64
 
-func countDyn(p Pattern) { dynCounts[p].Add(1) }
+// dynEnabled gates the run-time census. Counting costs an atomic RMW on
+// a shared counter per primitive invocation — per *relaxation* for the
+// AW helpers, which dominates graph-kernel hot loops — so the counters
+// only accrue while a census consumer has switched them on; everyone
+// else pays a read-mostly flag load.
+var dynEnabled atomic.Bool
+
+func countDyn(p Pattern) {
+	if dynEnabled.Load() {
+		dynCounts[p].Add(1)
+	}
+}
+
+// EnableDynamicCensus switches run-time pattern counting on or off and
+// returns the previous setting. Census consumers (rpb -census,
+// rpbreport -what dyncensus) enable it around their measured runs; it
+// is off by default so benchmark hot paths stay at hardware speed.
+func EnableDynamicCensus(on bool) bool { return dynEnabled.Swap(on) }
 
 // CountDynamic records one run-time invocation of pattern p in the
 // dynamic census. Kernel code that drives sched loops directly (the

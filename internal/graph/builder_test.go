@@ -1,0 +1,107 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTransposeSmallDirected(t *testing.T) {
+	// 0->1, 0->2, 2->1: transpose is 1->0, 2->0, 1->2.
+	g := BuildCSR(nil, 3, []Edge{{0, 1}, {0, 2}, {2, 1}})
+	var b Builder
+	tg := b.Transpose(nil, g)
+	if tg.N != 3 || tg.M() != 3 {
+		t.Fatalf("N=%d M=%d", tg.N, tg.M())
+	}
+	wantDeg := []int32{0, 2, 1}
+	for v := int32(0); v < 3; v++ {
+		if tg.Degree(v) != wantDeg[v] {
+			t.Fatalf("in-degree of %d = %d, want %d", v, tg.Degree(v), wantDeg[v])
+		}
+	}
+	if ns := tg.Neighbors(2); len(ns) != 1 || ns[0] != 0 {
+		t.Fatalf("in-neighbors of 2 = %v", ns)
+	}
+}
+
+func TestTransposeInvolutionProperty(t *testing.T) {
+	// Transposing twice recovers the original edge multiset.
+	f := func(raw []uint16, nRaw uint8) bool {
+		n := int32(nRaw%40) + 1
+		edges := make([]Edge, len(raw))
+		for i, r := range raw {
+			edges[i] = Edge{From: int32(r) % n, To: int32(r>>8) % n}
+		}
+		g := BuildCSR(nil, n, edges)
+		var b1, b2 Builder
+		tg := b1.Transpose(nil, g)
+		back := b2.Transpose(nil, tg)
+		count := map[Edge]int{}
+		for _, e := range edges {
+			count[e]++
+		}
+		for v := int32(0); v < n; v++ {
+			for _, u := range back.Neighbors(v) {
+				count[Edge{From: v, To: u}]--
+			}
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuilderReuseZeroSteadyGrowth pins the point of the Builder: a
+// second Build of the same shape must reuse every buffer, so the
+// returned graph aliases the first one's storage.
+func TestBuilderReuseAliasesBuffers(t *testing.T) {
+	edges := RMAT(nil, 8, 4, 3)
+	var b Builder
+	g1 := b.Build(nil, 1<<8, edges)
+	adj1 := &g1.Adj[0]
+	g2 := b.Build(nil, 1<<8, edges)
+	if &g2.Adj[0] != adj1 {
+		t.Fatal("rebuild did not reuse the adjacency buffer")
+	}
+	// And the rebuild must still be correct.
+	want := make([]int32, 1<<8)
+	for _, e := range edges {
+		want[e.From]++
+	}
+	for v := int32(0); v < 1<<8; v++ {
+		if g2.Degree(v) != want[v] {
+			t.Fatalf("degree %d = %d, want %d", v, g2.Degree(v), want[v])
+		}
+	}
+}
+
+func TestBuilderBuildWMatchesBuildWCSR(t *testing.T) {
+	edges := []WEdge{{0, 1, 5}, {1, 0, 7}, {0, 2, 9}, {2, 1, 3}}
+	var b Builder
+	g := b.BuildW(nil, 3, edges)
+	ref := BuildWCSR(nil, 3, edges)
+	if g.M() != ref.M() {
+		t.Fatalf("M=%d want %d", g.M(), ref.M())
+	}
+	for v := int32(0); v < 3; v++ {
+		adj, wgt := g.WNeighbors(v)
+		sum := uint32(0)
+		for i := range adj {
+			sum += uint32(adj[i]) + wgt[i]
+		}
+		radj, rwgt := ref.WNeighbors(v)
+		rsum := uint32(0)
+		for i := range radj {
+			rsum += uint32(radj[i]) + rwgt[i]
+		}
+		if sum != rsum || len(adj) != len(radj) {
+			t.Fatalf("vertex %d: adjacency mismatch", v)
+		}
+	}
+}

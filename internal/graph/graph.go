@@ -8,7 +8,6 @@ package graph
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/seqgen"
@@ -49,29 +48,12 @@ func (g *WGraph) WNeighbors(v int32) ([]int32, []uint32) {
 	return g.Adj[lo:hi], g.Wgt[lo:hi]
 }
 
-// BuildCSR builds a CSR graph from a directed edge list. The build
-// itself exercises the suite's patterns: a Stride degree count with
-// atomic increments, a Block scan for offsets, and a SngInd-style
-// scatter of edges into their slots.
+// BuildCSR builds a CSR graph from a directed edge list with a
+// one-shot Builder; see Builder for the counting-sort pipeline and the
+// 0-alloc reusable form.
 func BuildCSR(w *core.Worker, n int32, edges []Edge) *Graph {
-	degs := make([]atomic.Int32, n)
-	core.ForRange(w, 0, len(edges), 0, func(i int) {
-		degs[edges[i].From].Add(1)
-	})
-	offs := make([]int32, n+1)
-	core.ForRange(w, 0, int(n), 0, func(v int) {
-		offs[v+1] = degs[v].Load()
-	})
-	core.ScanInclusive(w, offs[1:])
-	adj := make([]int32, offs[n])
-	// Reuse degs as per-vertex fill cursors.
-	core.ForRange(w, 0, int(n), 0, func(v int) { degs[v].Store(0) })
-	core.ForRange(w, 0, len(edges), 0, func(i int) {
-		e := edges[i]
-		slot := offs[e.From] + degs[e.From].Add(1) - 1
-		adj[slot] = e.To
-	})
-	return &Graph{N: n, Offs: offs, Adj: adj}
+	var b Builder
+	return b.Build(w, n, edges)
 }
 
 // WEdge is a weighted directed edge.
@@ -80,27 +62,11 @@ type WEdge struct {
 	W        uint32
 }
 
-// BuildWCSR builds a weighted CSR graph from a weighted edge list.
+// BuildWCSR builds a weighted CSR graph from a weighted edge list with
+// a one-shot Builder.
 func BuildWCSR(w *core.Worker, n int32, edges []WEdge) *WGraph {
-	degs := make([]atomic.Int32, n)
-	core.ForRange(w, 0, len(edges), 0, func(i int) {
-		degs[edges[i].From].Add(1)
-	})
-	offs := make([]int32, n+1)
-	core.ForRange(w, 0, int(n), 0, func(v int) {
-		offs[v+1] = degs[v].Load()
-	})
-	core.ScanInclusive(w, offs[1:])
-	adj := make([]int32, offs[n])
-	wgt := make([]uint32, offs[n])
-	core.ForRange(w, 0, int(n), 0, func(v int) { degs[v].Store(0) })
-	core.ForRange(w, 0, len(edges), 0, func(i int) {
-		e := edges[i]
-		slot := offs[e.From] + degs[e.From].Add(1) - 1
-		adj[slot] = e.To
-		wgt[slot] = e.W
-	})
-	return &WGraph{Graph: Graph{N: n, Offs: offs, Adj: adj}, Wgt: wgt}
+	var b Builder
+	return b.BuildW(w, n, edges)
 }
 
 // Symmetrize returns the undirected edge list of edges: each (u,v) with

@@ -152,6 +152,7 @@ var coreCalls = map[string]coreCall{
 	"WriteMinU32":     {pattern: core.AW, fear: core.Scared, mask: cAWHelper},
 	"WriteMinU64":     {pattern: core.AW, fear: core.Scared, mask: cAWHelper},
 	"CASLoop32":       {pattern: core.AW, fear: core.Scared, mask: cAWHelper},
+	"SetBit":          {pattern: core.AW, fear: core.Scared, mask: cAWHelper},
 	"NewShardedLocks": {pattern: core.AW, fear: core.Scared, mask: cLocks},
 }
 
@@ -245,7 +246,7 @@ func classifyCall(f *fileInfo, call *ast.CallExpr) (cc coreCall, mask construct,
 		return cc, cc.mask, true
 	case path == atomicPath:
 		return coreCall{}, cAtomic, true
-	case isPath(path, mqPath) && name == "Process",
+	case isPath(path, mqPath) && (name == "Process" || name == "ProcessOpt" || name == "ProcessBatch"),
 		isPath(path, specforPath) && name == "Run":
 		return coreCall{}, cTaskEngine, true
 	}

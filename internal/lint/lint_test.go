@@ -21,8 +21,11 @@ func TestFixtureClean(t *testing.T) {
 	for _, d := range rep.Diags {
 		t.Errorf("false positive: %s", d)
 	}
-	if rep.Census.Total != 7 {
-		t.Errorf("census total = %d, want 7", rep.Census.Total)
+	if rep.Census.Total != 11 {
+		t.Errorf("census total = %d, want 11", rep.Census.Total)
+	}
+	if got := rep.Census.PerKind["AW"]; got != 1 {
+		t.Errorf("AW sites = %d, want 1 (bitmap frontier fixture)", got)
 	}
 	if got := rep.Census.PerKind["SngInd"]; got != 2 {
 		t.Errorf("SngInd sites = %d, want 2", got)

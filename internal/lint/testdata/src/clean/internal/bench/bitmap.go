@@ -1,0 +1,45 @@
+// bitmap.go mirrors the hybrid BFS frontier shapes (docs/GRAPH.md):
+// a bitmap built by CAS bit-sets (AW helper next to its declaration),
+// a word-owner MapReduce whose writes stay inside the task's 64-vertex
+// word (RO plus plain stores at task-derived indexes), and the Block
+// pack back to a sparse list.
+package bench
+
+import (
+	"fixture/internal/core"
+)
+
+func bitmapFrontier(w *core.Worker, bm, next []uint64, frontier []int32, dist []uint32, out []int32) int {
+	core.Fill(w, bm, 0)
+	core.ForRange(w, 0, len(frontier), 0, func(i int) {
+		core.SetBit(bm, frontier[i])
+	})
+	claimed := core.MapReduce(w, len(next), 0, func(wi int) int {
+		var word uint64
+		cnt := 0
+		hi := wi*64 + 64
+		if hi > len(dist) {
+			hi = len(dist)
+		}
+		for v := wi * 64; v < hi; v++ {
+			if core.TestBit(bm, int32(v)) {
+				dist[v] = 1
+				word |= 1 << uint(v-wi*64)
+				cnt++
+			}
+		}
+		next[wi] = word
+		return cnt
+	}, func(a, b int) int { return a + b })
+	packed := core.PackIndexInto(w, len(bm)*64, func(i int) bool {
+		return core.TestBit(bm, int32(i))
+	}, out)
+	return claimed + len(packed)
+}
+
+func init() {
+	core.DeclareSite("bitmap", "frontier bit set", core.AW)
+	core.DeclareSite("bitmap", "frontier scatter to bitmap", core.Stride)
+	core.DeclareSite("bitmap", "word-owner dist/next writes", core.RO)
+	core.DeclareSite("bitmap", "bitmap pack to sparse list", core.Block)
+}

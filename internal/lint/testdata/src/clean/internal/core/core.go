@@ -98,3 +98,39 @@ func ScanInclusive[T Number](w *Worker, xs []T) T {
 func Sort[T Number](w *Worker, xs []T) {}
 
 func SortBy[T any](w *Worker, xs []T, less func(a, b T) bool) {}
+
+func Fill[T any](w *Worker, xs []T, v T) {
+	for i := range xs {
+		xs[i] = v
+	}
+}
+
+func MapReduce[R any](w *Worker, n int, identity R, mapf func(i int) R, comb func(R, R) R) R {
+	acc := identity
+	for i := 0; i < n; i++ {
+		acc = comb(acc, mapf(i))
+	}
+	return acc
+}
+
+func PackIndexInto(w *Worker, n int, keep func(i int) bool, dst []int32) []int32 {
+	out := dst[:0]
+	for i := 0; i < n; i++ {
+		if keep(i) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func SetBit(bm []uint64, i int32) bool {
+	w := &bm[uint32(i)>>6]
+	mask := uint64(1) << (uint32(i) & 63)
+	old := *w
+	*w |= mask
+	return old&mask == 0
+}
+
+func TestBit(bm []uint64, i int32) bool {
+	return bm[uint32(i)>>6]&(1<<(uint32(i)&63)) != 0
+}

@@ -131,6 +131,60 @@ func TestProcessOptStickyCompletesDynamicWork(t *testing.T) {
 	}
 }
 
+// TestAblationBatchSizeLocksPerItem quantifies the batching knob the
+// graph kernels depend on (docs/GRAPH.md): locks per item must fall
+// roughly linearly in the batch size.
+func TestAblationBatchSizeLocksPerItem(t *testing.T) {
+	const n = 1 << 14
+	prev := 1e18
+	for _, k := range []int{1, 8, 64, 256} {
+		m := New(8)
+		buf := make([]Item, k)
+		for i := 0; i < n; i += k {
+			for j := range buf {
+				buf[j] = Item{Pri: uint64(i + j), Val: uint64(i + j)}
+			}
+			m.PushBatch(buf)
+		}
+		for m.PopBatch(buf) > 0 {
+		}
+		st := m.Stats()
+		if st.PoppedItems != n {
+			t.Fatalf("k=%d: popped %d of %d", k, st.PoppedItems, n)
+		}
+		lpi := st.LocksPerItem()
+		t.Logf("batch=%-4d locks/item=%.4f", k, lpi)
+		if lpi >= prev {
+			t.Errorf("locks/item should fall with batch size: k=%d got %.4f, previous %.4f", k, lpi, prev)
+		}
+		prev = lpi
+	}
+}
+
+// BenchmarkAblationBatchSize drives the same dynamic workload through
+// ProcessBatch at several batch sizes; batch=1 degenerates to per-item
+// staging and shows what the amortization buys.
+func BenchmarkAblationBatchSize(b *testing.B) {
+	for _, k := range []int{1, 8, 64, 256} {
+		b.Run(fmt.Sprintf("batch-%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var count atomic.Int64
+				ProcessBatch(4, []Item{{Pri: 0, Val: 14}}, Options{BatchSize: k},
+					func(_ int, it Item, push Pusher) {
+						count.Add(1)
+						if it.Val > 0 {
+							push.Push(Item{Pri: it.Pri + 1, Val: it.Val - 1})
+							push.Push(Item{Pri: it.Pri + 1, Val: it.Val - 1})
+						}
+					})
+				if count.Load() != 32767 {
+					b.Fatalf("executed %d tasks, want 32767", count.Load())
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkAblationStickiness(b *testing.B) {
 	for _, stick := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("stick-%d", stick), func(b *testing.B) {

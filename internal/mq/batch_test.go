@@ -1,0 +1,270 @@
+package mq
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// Tests for the batched operations (PushBatch / PopBatch /
+// ProcessBatch). The batching contract relaxes priority order further
+// than the single-item MQ — a batch pop drains one heap's prefix
+// without consulting the others — so these tests check conservation
+// (nothing lost, nothing duplicated) and termination, not rank.
+
+func TestPushBatchPopBatchRoundTrip(t *testing.T) {
+	m := New(8)
+	const n, k = 10000, 64
+	items := make([]Item, 0, k)
+	for i := uint64(0); i < n; i++ {
+		items = append(items, Item{Pri: i, Val: i})
+		if len(items) == k {
+			m.PushBatch(items)
+			items = items[:0]
+		}
+	}
+	m.PushBatch(items)
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	seen := make([]bool, n)
+	dst := make([]Item, k)
+	got := 0
+	for {
+		c := m.PopBatch(dst)
+		if c == 0 {
+			break
+		}
+		for _, it := range dst[:c] {
+			if seen[it.Val] {
+				t.Fatalf("item %d popped twice", it.Val)
+			}
+			seen[it.Val] = true
+		}
+		got += c
+	}
+	if got != n {
+		t.Fatalf("popped %d of %d", got, n)
+	}
+}
+
+func TestPopBatchRespectsDestinationLength(t *testing.T) {
+	m := New(2)
+	for i := uint64(0); i < 100; i++ {
+		m.Push(Item{Pri: i, Val: i})
+	}
+	dst := make([]Item, 7)
+	if c := m.PopBatch(dst); c > 7 {
+		t.Fatalf("PopBatch returned %d items into a 7-slot buffer", c)
+	}
+	if c := m.PopBatch(nil); c != 0 {
+		t.Fatalf("PopBatch(nil) = %d, want 0", c)
+	}
+}
+
+func TestPushBatchEmptyIsNoop(t *testing.T) {
+	m := New(2)
+	m.PushBatch(nil)
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after empty PushBatch", m.Len())
+	}
+	st := m.Stats()
+	if st.LockAcquires != 0 {
+		t.Fatalf("empty PushBatch acquired %d locks", st.LockAcquires)
+	}
+}
+
+// TestBatchSingleInterleaveConcurrent is the -race stress test: half
+// the producers push batches while the other half push single items,
+// and consumers drain with a mix of PopBatch and Pop. Every item must
+// come out exactly once.
+func TestBatchSingleInterleaveConcurrent(t *testing.T) {
+	m := New(8)
+	const perG, gs = 4000, 4 // 2 batch + 2 single producers
+	var wg sync.WaitGroup
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := uint64(g * perG)
+			if g%2 == 0 {
+				buf := make([]Item, 0, 32)
+				for i := uint64(0); i < perG; i++ {
+					buf = append(buf, Item{Pri: i, Val: base + i})
+					if len(buf) == cap(buf) {
+						m.PushBatch(buf)
+						buf = buf[:0]
+					}
+				}
+				m.PushBatch(buf)
+			} else {
+				for i := uint64(0); i < perG; i++ {
+					m.Push(Item{Pri: i, Val: base + i})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	var popped atomic.Int64
+	seen := make([]atomic.Bool, perG*gs)
+	for g := 0; g < gs; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mark := func(it Item) bool {
+				if seen[it.Val].Swap(true) {
+					t.Errorf("item %d popped twice", it.Val)
+					return false
+				}
+				popped.Add(1)
+				return true
+			}
+			if g%2 == 0 {
+				dst := make([]Item, 48)
+				for {
+					c := m.PopBatch(dst)
+					if c == 0 {
+						return
+					}
+					for _, it := range dst[:c] {
+						if !mark(it) {
+							return
+						}
+					}
+				}
+			} else {
+				for {
+					it, ok := m.Pop()
+					if !ok {
+						return
+					}
+					if !mark(it) {
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if popped.Load() != perG*gs {
+		t.Fatalf("popped %d of %d", popped.Load(), perG*gs)
+	}
+}
+
+func TestPopperBatchOpsDrainEverything(t *testing.T) {
+	m := New(8)
+	const n = 20000
+	p := m.NewPopper(4)
+	buf := make([]Item, 0, 64)
+	for i := uint64(0); i < n; i++ {
+		buf = append(buf, Item{Pri: i, Val: i})
+		if len(buf) == cap(buf) {
+			p.PushBatch(buf)
+			buf = buf[:0]
+		}
+	}
+	p.PushBatch(buf)
+	seen := make([]bool, n)
+	dst := make([]Item, 64)
+	got := 0
+	for {
+		c := p.PopBatch(dst)
+		if c == 0 {
+			break
+		}
+		for _, it := range dst[:c] {
+			if seen[it.Val] {
+				t.Fatalf("item %d popped twice", it.Val)
+			}
+			seen[it.Val] = true
+		}
+		got += c
+	}
+	if got != n {
+		t.Fatalf("popped %d of %d", got, n)
+	}
+}
+
+func TestProcessBatchRunsAllSeeds(t *testing.T) {
+	var count atomic.Int64
+	seeds := make([]Item, 500)
+	for i := range seeds {
+		seeds[i] = Item{Pri: uint64(i), Val: uint64(i)}
+	}
+	ProcessBatch(4, seeds, Options{}, func(_ int, _ Item, _ Pusher) {
+		count.Add(1)
+	})
+	if count.Load() != 500 {
+		t.Fatalf("processed %d, want 500", count.Load())
+	}
+}
+
+// TestProcessBatchDynamicSpawning checks termination detection with
+// staged pushes: children sit invisible in a worker's staging buffer
+// until the popped batch finishes, so the in-flight accounting must
+// not let the pool quiesce while work is staged.
+func TestProcessBatchDynamicSpawning(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var count atomic.Int64
+		ProcessBatch(workers, []Item{{Pri: 0, Val: 12}}, Options{BatchSize: 16},
+			func(_ int, it Item, push Pusher) {
+				count.Add(1)
+				if it.Val > 0 {
+					push.Push(Item{Pri: it.Pri + 1, Val: it.Val - 1})
+					push.Push(Item{Pri: it.Pri + 1, Val: it.Val - 1})
+				}
+			})
+		if count.Load() != 8191 { // full binary tree of depth 12
+			t.Fatalf("workers=%d: executed %d tasks, want 8191", workers, count.Load())
+		}
+	}
+}
+
+func TestProcessBatchNoSeeds(t *testing.T) {
+	ran := false
+	ProcessBatch(2, nil, Options{}, func(_ int, _ Item, _ Pusher) { ran = true })
+	if ran {
+		t.Fatal("task ran with no seeds")
+	}
+}
+
+// TestBatchingCutsLockAcquires pins the point of the whole exercise:
+// moving the same items through the queue in batches of k needs about
+// 1/k of the lock acquisitions.
+func TestBatchingCutsLockAcquires(t *testing.T) {
+	const n, k = 8192, 64
+	single := New(4)
+	for i := uint64(0); i < n; i++ {
+		single.Push(Item{Pri: i, Val: i})
+	}
+	for {
+		if _, ok := single.Pop(); !ok {
+			break
+		}
+	}
+	ss := single.Stats()
+
+	batched := New(4)
+	buf := make([]Item, k)
+	for i := uint64(0); i < n; i += k {
+		for j := range buf {
+			buf[j] = Item{Pri: i + uint64(j), Val: i + uint64(j)}
+		}
+		batched.PushBatch(buf)
+	}
+	for {
+		if c := batched.PopBatch(buf); c == 0 {
+			break
+		}
+	}
+	bs := batched.Stats()
+
+	if ss.PoppedItems != n || bs.PoppedItems != n {
+		t.Fatalf("popped %d / %d, want %d", ss.PoppedItems, bs.PoppedItems, n)
+	}
+	sl, bl := ss.LocksPerItem(), bs.LocksPerItem()
+	if bl*8 > sl {
+		t.Fatalf("batching should cut locks/item by ~%dx: single=%.3f batched=%.3f", k, sl, bl)
+	}
+}

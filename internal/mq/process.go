@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/arena"
 )
 
 // Pusher hands tasks back to the scheduler from inside a running task.
@@ -40,8 +42,9 @@ func Process(nWorkers int, seeds []Item, task func(workerID int, it Item, push P
 	ProcessOpt(nWorkers, seeds, Options{}, task)
 }
 
-// processWith runs the worker loops over an existing queue.
-func processWith(m *MultiQueue, nWorkers int, seeds []Item, stickiness int, task func(workerID int, it Item, push Pusher)) {
+// processWith runs the worker loops over an existing queue and returns
+// its operation counters.
+func processWith(m *MultiQueue, nWorkers int, seeds []Item, stickiness int, task func(workerID int, it Item, push Pusher)) Stats {
 	var inFlight atomic.Int64
 	for _, s := range seeds {
 		inFlight.Add(1)
@@ -53,6 +56,7 @@ func processWith(m *MultiQueue, nWorkers int, seeds []Item, stickiness int, task
 		go func(wid int) {
 			defer wg.Done()
 			pop := m.NewPopper(stickiness)
+			defer pop.FlushStats()
 			ctx := &workerCtx{p: pop, inFlight: &inFlight}
 			idle := 0
 			for {
@@ -74,4 +78,94 @@ func processWith(m *MultiQueue, nWorkers int, seeds []Item, stickiness int, task
 		}(wid)
 	}
 	wg.Wait()
+	return m.Stats()
+}
+
+// batchCtx is the Pusher handed to ProcessBatch tasks: pushes land in a
+// per-worker staging buffer (arena-backed, fixed capacity = BatchSize)
+// and reach the shared queue in batches — one lock acquisition per
+// flush instead of one per task.
+//
+// In-flight accounting: staged items are invisible to the global
+// counter until flush, which is safe because the worker only decrements
+// the counter for the popped batch *after* flushing everything those
+// tasks staged. A worker observing inFlight==0 therefore proves no task
+// is running, queued, or staged anywhere.
+type batchCtx struct {
+	p        *Popper
+	inFlight *atomic.Int64
+	buf      []Item // staged pushes; cap == max, len(buf) < max between calls
+	max      int
+}
+
+func (c *batchCtx) Push(it Item) {
+	c.buf = append(c.buf, it)
+	if len(c.buf) >= c.max {
+		c.flush()
+	}
+}
+
+func (c *batchCtx) flush() {
+	if len(c.buf) == 0 {
+		return
+	}
+	c.inFlight.Add(int64(len(c.buf)))
+	c.p.PushBatch(c.buf)
+	c.buf = c.buf[:0]
+}
+
+// ProcessBatch is the batched form of ProcessOpt: each worker pops up
+// to opt.BatchSize items per lock acquisition, runs them back to back,
+// and stages their pushes in an arena-backed buffer flushed in batches.
+// The relaxed-priority contract weakens accordingly — a popped batch is
+// processed in order, but its tail may rank behind items surfacing
+// elsewhere meanwhile — which is exactly the relaxation the bfs/sssp
+// kernels already tolerate (docs/GRAPH.md). Returns the queue's
+// operation counters.
+func ProcessBatch(nWorkers int, seeds []Item, opt Options, task func(workerID int, it Item, push Pusher)) Stats {
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	opt.fill()
+	m := New(opt.QueueFactor * nWorkers)
+	var inFlight atomic.Int64
+	if len(seeds) > 0 {
+		inFlight.Add(int64(len(seeds)))
+		m.PushBatch(seeds)
+	}
+	var wg sync.WaitGroup
+	wg.Add(nWorkers)
+	for wid := 0; wid < nWorkers; wid++ {
+		go func(wid int) {
+			defer wg.Done()
+			pop := m.NewPopper(opt.Stickiness)
+			defer pop.FlushStats()
+			a := arena.Standalone()
+			batch := arena.AllocUninit[Item](a, opt.BatchSize)
+			stage := arena.AllocUninit[Item](a, opt.BatchSize)
+			ctx := &batchCtx{p: pop, inFlight: &inFlight, buf: stage[:0], max: opt.BatchSize}
+			idle := 0
+			for {
+				n := pop.PopBatch(batch)
+				if n == 0 {
+					if inFlight.Load() == 0 {
+						return
+					}
+					idle++
+					if idle > 16 {
+						runtime.Gosched()
+					}
+					continue
+				}
+				idle = 0
+				for i := 0; i < n; i++ {
+					task(wid, batch[i], ctx)
+				}
+				ctx.flush()
+				inFlight.Add(-int64(n))
+			}
+		}(wid)
+	}
+	wg.Wait()
+	return m.Stats()
 }

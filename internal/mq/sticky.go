@@ -5,10 +5,14 @@ package mq
 // the MultiQueue being a state-of-the-art priority scheduler: a worker
 // sticks to its chosen queue pair for a number of consecutive
 // operations, trading a little rank quality for much better cache
-// locality and lower contention.
+// locality and lower contention. Batch transfers compose with
+// stickiness: a batch counts as one sticky operation, so a sticky
+// batched worker revisits the same warm queue for its next batch.
 
 // Popper is a per-worker handle that amortizes queue selection across
-// sticky batches. A Popper must not be shared between goroutines.
+// sticky batches and accumulates operation counters locally (flushed to
+// the queue's shared Stats by FlushStats, so the hot path never touches
+// shared counters). A Popper must not be shared between goroutines.
 type Popper struct {
 	m      *MultiQueue
 	stick  int
@@ -16,6 +20,7 @@ type Popper struct {
 	leftU  int // pushes remaining on the stuck queue
 	qi, qj uint64
 	qpush  uint64
+	st     Stats // local counters; see FlushStats
 }
 
 // NewPopper creates a handle with the given stickiness (1 = the
@@ -26,6 +31,14 @@ func (m *MultiQueue) NewPopper(stickiness int) *Popper {
 		stickiness = 1
 	}
 	return &Popper{m: m, stick: stickiness}
+}
+
+// FlushStats folds the handle's local operation counters into the
+// MultiQueue's shared Stats and zeroes them. Drivers call it once per
+// worker at loop exit.
+func (p *Popper) FlushStats() {
+	p.m.stats.add(p.st)
+	p.st = Stats{}
 }
 
 func (p *Popper) repick() {
@@ -60,14 +73,58 @@ func (p *Popper) Pop() (Item, bool) {
 		win.mu.Lock()
 		it, ok := win.pop()
 		win.mu.Unlock()
+		p.st.LockAcquires++
 		if ok {
+			p.st.PopOps++
+			p.st.PoppedItems++
 			p.m.size.Add(-1)
 			return it, true
 		}
+		p.st.EmptyPops++
 		p.leftP = 0
 	}
 	// Fall back to the non-sticky path (includes the full sweep).
-	return p.m.Pop()
+	it, ok := p.m.popInto(&p.st, nil)
+	return it, ok
+}
+
+// PopBatch removes up to len(dst) items from the better-topped of the
+// stuck pair under one lock acquisition, returning the count (the batch
+// is in priority order). A batch counts as a single sticky operation.
+func (p *Popper) PopBatch(dst []Item) int {
+	if len(dst) == 0 {
+		return 0
+	}
+	for attempt := 0; attempt < 3; attempt++ {
+		if p.leftP <= 0 {
+			p.repick()
+		}
+		p.leftP--
+		qi, qj := &p.m.queues[p.qi], &p.m.queues[p.qj]
+		ti, tj := qi.top.Load(), qj.top.Load()
+		if ti == emptyTop && tj == emptyTop {
+			p.leftP = 0
+			continue
+		}
+		win := qi
+		if tj < ti {
+			win = qj
+		}
+		win.mu.Lock()
+		got := win.popUpTo(dst)
+		win.mu.Unlock()
+		p.st.LockAcquires++
+		if got > 0 {
+			p.st.PopOps++
+			p.st.PoppedItems += uint64(got)
+			p.m.size.Add(-int64(got))
+			return got
+		}
+		p.st.EmptyPops++
+		p.leftP = 0
+	}
+	_, got := p.m.popBatchInto(&p.st, dst)
+	return got
 }
 
 // Push inserts through the sticky handle: the target queue is re-picked
@@ -82,30 +139,67 @@ func (p *Popper) Push(it Item) {
 	q.mu.Lock()
 	q.push(it)
 	q.mu.Unlock()
+	p.st.LockAcquires++
+	p.st.PushOps++
+	p.st.PushedItems++
 	p.m.size.Add(1)
 }
 
-// Options configures ProcessOpt.
+// PushBatch inserts all items into the sticky target queue under one
+// lock acquisition with at most one cached-top update. A batch counts
+// as a single sticky operation.
+func (p *Popper) PushBatch(items []Item) {
+	if len(items) == 0 {
+		return
+	}
+	if p.leftU <= 0 {
+		p.qpush = p.m.rand() % uint64(len(p.m.queues))
+		p.leftU = p.stick
+	}
+	p.leftU--
+	q := &p.m.queues[p.qpush]
+	q.mu.Lock()
+	q.pushAll(items)
+	q.mu.Unlock()
+	p.st.LockAcquires++
+	p.st.PushOps++
+	p.st.PushedItems += uint64(len(items))
+	p.m.size.Add(int64(len(items)))
+}
+
+// Options configures ProcessOpt and ProcessBatch.
 type Options struct {
 	// QueueFactor is the number of internal queues per worker (the
 	// literature's c); default 4.
 	QueueFactor int
 	// Stickiness batches queue selection; default 1 (classic).
 	Stickiness int
+	// BatchSize bounds the items moved per locked queue operation in
+	// ProcessBatch (pop batches and the per-worker push staging buffer);
+	// default 64. ProcessOpt ignores it.
+	BatchSize int
+}
+
+func (o *Options) fill() {
+	if o.QueueFactor <= 0 {
+		o.QueueFactor = 4
+	}
+	if o.Stickiness < 1 {
+		o.Stickiness = 1
+	}
+	if o.BatchSize < 1 {
+		o.BatchSize = 64
+	}
 }
 
 // ProcessOpt is Process with scheduler options: each worker drives the
-// queue through its own sticky Popper.
-func ProcessOpt(nWorkers int, seeds []Item, opt Options, task func(workerID int, it Item, push Pusher)) {
+// queue through its own sticky Popper, one item per queue operation. It
+// returns the queue's operation counters for telemetry.
+func ProcessOpt(nWorkers int, seeds []Item, opt Options, task func(workerID int, it Item, push Pusher)) Stats {
 	if nWorkers <= 0 {
 		nWorkers = 1
 	}
-	if opt.QueueFactor <= 0 {
-		opt.QueueFactor = 4
-	}
-	if opt.Stickiness < 1 {
-		opt.Stickiness = 1
-	}
+	opt.fill()
 	m := New(opt.QueueFactor * nWorkers)
-	processWith(m, nWorkers, seeds, opt.Stickiness, task)
+	return processWith(m, nWorkers, seeds, opt.Stickiness, task)
 }

@@ -32,6 +32,8 @@ func DynCensus(w io.Writer, scale bench.Scale, threads int) error {
 	fmt.Fprintf(w, " %8s\n", "irreg%")
 	totals := map[core.Pattern]int64{}
 	core.SetMode(core.ModeUnchecked)
+	prev := core.EnableDynamicCensus(true)
+	defer core.EnableDynamicCensus(prev)
 	for _, spec := range bench.All() {
 		input := spec.Inputs[0]
 		inst := spec.Make(input, scale)
