@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test lint certify certify-update race bench bench-sched bench-mem bench-mem-gate bench-graph bench-graph-gate report figures inputs clean
+.PHONY: build test lint certify certify-update races races-update race bench bench-sched bench-mem bench-mem-gate bench-graph bench-graph-gate report figures inputs clean
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,16 @@ certify:
 certify-update:
 	$(GO) run ./cmd/rpblint -certify -write-certs
 
+# Parallel-write certification (docs/LINT.md "Write certification"):
+# classifies every shared write in every parallel region and fails on
+# unexplained refusals in the enforced packages or a stale committed
+# lint-races.json. Shared by CI; races-update regenerates the file.
+races:
+	$(GO) run ./cmd/rpblint -races
+
+races-update:
+	$(GO) run ./cmd/rpblint -races -write-races
+
 race:
 	$(GO) test -race ./...
 
@@ -36,7 +46,7 @@ bench:
 # buys; docs/LINT.md), exported to BENCH_sched.json as benchmark name
 # -> ns/op, allocs/op, splits/op. CI runs this with BENCHTIME=1x as a
 # smoke test so the fast path cannot silently rot; see docs/SCHED.md.
-SCHED_BENCH = BenchmarkSchedFor|BenchmarkSchedJoin|BenchmarkForOverhead|BenchmarkJoinFib|BenchmarkSpawnJoinOverhead|BenchmarkGrainSweep|BenchmarkCheckElision
+SCHED_BENCH = BenchmarkSchedFor|BenchmarkSchedJoin|BenchmarkForOverhead|BenchmarkJoinFib|BenchmarkSpawnJoinOverhead|BenchmarkGrainSweep|BenchmarkCheckElision|BenchmarkAtomicElision
 BENCHTIME ?= 1s
 bench-sched:
 	$(GO) test -run xxx -bench '$(SCHED_BENCH)' -benchmem -benchtime $(BENCHTIME) ./internal/sched/ ./internal/core/ | $(GO) run ./cmd/benchjson -out BENCH_sched.json

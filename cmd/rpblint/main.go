@@ -7,14 +7,19 @@
 //
 //	rpblint [-root dir] [-json] [-census] [packages...]
 //	rpblint -certify [-write-certs] [-certs file] [packages...]
+//	rpblint -races [-write-races] [-races-file file] [packages...]
 //
 // Packages are directory patterns relative to the module root
 // ("./...", "./internal/bench", "examples/..."); with none given the
 // whole module is checked. -certify runs the offset-provenance prover
 // over every certifiable call site and compares the result against the
-// committed certificate file (-write-certs rewrites it instead). Exit
-// status: 0 clean, 1 diagnostics found / stale certificates, 2
-// analysis error.
+// committed certificate file (-write-certs rewrites it instead).
+// -races runs the parallel-write certification pass: every write to
+// captured or escaping state inside a parallel region is classified
+// (worker-local, atomic, lock-guarded, index-disjoint, or refused) and
+// the result is compared against the committed lint-races.json. Exit
+// status: 0 clean, 1 diagnostics found / stale or unexplained
+// certificates, 2 analysis error.
 package main
 
 import (
@@ -37,6 +42,9 @@ func main() {
 		certify    = flag.Bool("certify", false, "run the offset-provenance certification pass")
 		certsFile  = flag.String("certs", "lint-certs.json", "certificate file, relative to the module root")
 		writeCerts = flag.Bool("write-certs", false, "with -certify: rewrite the certificate file instead of comparing")
+		races      = flag.Bool("races", false, "run the parallel-write certification pass")
+		racesFile  = flag.String("races-file", "lint-races.json", "race-certificate file, relative to the module root")
+		writeRaces = flag.Bool("write-races", false, "with -races: rewrite the race-certificate file instead of comparing")
 	)
 	flag.Parse()
 
@@ -52,6 +60,10 @@ func main() {
 
 	if *certify {
 		runCertify(r, *certsFile, *writeCerts, flag.Args(), *asJSON)
+		return
+	}
+	if *races {
+		runRaces(r, *racesFile, *writeRaces, flag.Args(), *asJSON)
 		return
 	}
 
@@ -141,6 +153,58 @@ func runCertify(root, certs string, write bool, dirs []string, asJSON bool) {
 	}
 	if !bytes.Equal(committed, rep.Marshal()) {
 		fmt.Fprintf(os.Stderr, "rpblint: %s is stale (run rpblint -certify -write-certs and commit the result)\n", path)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "rpblint: %s is current\n", path)
+}
+
+// runRaces executes the parallel-write certification pass, then either
+// rewrites the race-certificate file (-write-races) or byte-compares it
+// against the committed one. Unexplained refusals (no //lint:scared
+// marker, in an enforced directory) fail regardless of staleness.
+func runRaces(root, racesFile string, write bool, dirs []string, asJSON bool) {
+	rep, err := lint.Races(lint.Config{Root: root, Dirs: dirs})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpblint:", err)
+		os.Exit(2)
+	}
+	if asJSON {
+		os.Stdout.Write(rep.Marshal())
+	} else {
+		fmt.Print(rep.String())
+	}
+
+	fail := false
+	if rep.Unexplained > 0 {
+		fmt.Fprintf(os.Stderr, "rpblint: %d unexplained refusals in enforced directories (add //lint:scared markers or fix the writes)\n", rep.Unexplained)
+		fail = true
+	}
+
+	path := racesFile
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(root, path)
+	}
+	if write {
+		if err := os.WriteFile(path, rep.Marshal(), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "rpblint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "rpblint: wrote %s\n", path)
+		if fail {
+			os.Exit(1)
+		}
+		return
+	}
+	committed, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpblint: no committed race-certificate file %s (run rpblint -races -write-races)\n", path)
+		os.Exit(1)
+	}
+	if !bytes.Equal(committed, rep.Marshal()) {
+		fmt.Fprintf(os.Stderr, "rpblint: %s is stale (run rpblint -races -write-races and commit the result)\n", path)
+		os.Exit(1)
+	}
+	if fail {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "rpblint: %s is current\n", path)

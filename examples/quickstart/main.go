@@ -10,6 +10,18 @@ import (
 	"repro/internal/core"
 )
 
+// descending returns the reversing permutation [n-1, ..., 0]. The
+// certifier's interprocedural summary proves the returned slice is a
+// permutation of [0, n), so scatters through it are certified at the
+// call sites below even though the fill happens in here.
+func descending(n int) []int32 {
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		out[i] = int32(n - 1 - i)
+	}
+	return out
+}
+
 func main() {
 	core.Run(func(w *core.Worker) {
 		// Stride: square every element in place (Listing 4(e)).
@@ -25,16 +37,24 @@ func main() {
 		fmt.Println("sorted:", core.IsSorted(w, v, func(a, b int64) bool { return a < b }))
 
 		// SngInd: scatter through an offsets permutation with the
-		// run-time uniqueness check (Listing 6(f)). A planted duplicate
-		// would surface as an error here instead of a silent race.
+		// run-time uniqueness check (Listing 6(f)).
 		out := make([]int64, 8)
-		offsets := []int32{7, 6, 5, 4, 3, 2, 1, 0}
+		offsets := descending(8)
 		err := core.IndForEach(w, out, offsets, func(i int, slot *int64) { *slot = int64(i) })
 		fmt.Println("reversed scatter:", out, "err:", err)
 
-		// The same scatter with a duplicated offset is caught, not raced.
-		offsets[3] = 7
-		err = core.IndForEach(w, out, offsets, func(i int, slot *int64) { *slot = int64(i) })
+		// The certifier proves the same property statically (rpblint
+		// -certify: offsets certify via the descending summary), so the
+		// unchecked variant is Fearless under certificate.
+		core.IndForEachUnchecked(w, out, offsets, func(i int, slot *int64) { *slot = int64(7 - i) })
+		fmt.Println("certified scatter:", out)
+
+		// A planted duplicate is caught by the run-time check, not
+		// raced — and the certifier refuses the site (literal offsets
+		// are not modeled), so the check correctly stays.
+		dup := []int32{7, 6, 5, 4, 3, 2, 1, 0}
+		dup[3] = 7
+		err = core.IndForEach(w, out, dup, func(i int, slot *int64) { *slot = int64(i) })
 		fmt.Println("planted duplicate detected:", err)
 	})
 }

@@ -47,8 +47,12 @@ func (m *msfInstance) runLibrary(w *core.Worker) {
 	m.live = core.PackIndexInto(w, len(m.edges), func(int) bool { return true }, m.live)
 	// Round bodies are built once per run and read the frontier via the
 	// instance, so rounds allocate nothing beyond scratch warm-up.
+	// The reset sweep needs no atomics: the races certificate proves
+	// best[v] task-affine in this region (lint-races.json, class
+	// index-disjoint), and the pool's fork/join edges publish the
+	// stores to the offer round that follows.
 	clearBest := func(v int) {
-		atomic.StoreUint64(&m.best[v], msfNone)
+		m.best[v] = msfNone
 	}
 	offer := func(i int) {
 		// Offer every live edge to both endpoint components (AW).

@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"sync/atomic"
+	"testing"
+)
 
 // BenchmarkCheckElision measures exactly what a certificate buys: the
 // same irregular traversal with the dynamic check paid (checked) and
@@ -62,6 +65,36 @@ func BenchmarkCheckElision(b *testing.B) {
 		on(func(w *Worker) {
 			for i := 0; i < b.N; i++ {
 				IndChunksUnchecked(w, data, boundaries, chunkBody)
+			}
+		})
+	})
+}
+
+// BenchmarkAtomicElision measures what the write certificate buys: the
+// msf reset-sweep shape (clearBest) with the atomic store paid
+// (synchronized) and elided under the index-disjoint proof (certified).
+// best[v] is task-affine, so both variants write identical values and
+// the delta is the cost of the full-barrier store alone.
+func BenchmarkAtomicElision(b *testing.B) {
+	const n = 1 << 16
+	const none = ^uint64(0)
+	best := make([]uint64, n)
+
+	b.Run("reset/synchronized", func(b *testing.B) {
+		on(func(w *Worker) {
+			for i := 0; i < b.N; i++ {
+				ForRange(w, 0, n, 0, func(v int) {
+					atomic.StoreUint64(&best[v], none)
+				})
+			}
+		})
+	})
+	b.Run("reset/certified", func(b *testing.B) {
+		on(func(w *Worker) {
+			for i := 0; i < b.N; i++ {
+				ForRange(w, 0, n, 0, func(v int) {
+					best[v] = none
+				})
 			}
 		})
 	})

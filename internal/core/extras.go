@@ -45,7 +45,7 @@ func Async[T any](w *Worker, f func(w *Worker) T) *Future[T] {
 				fut.failed.Store(&TaskPanic{Value: r})
 			}
 		}()
-		fut.result = f(w2)
+		fut.result = f(w2) //lint:scared single-writer future: only this task writes result, and Wait's done.Load acquire-orders the read after it
 	}
 	if w == nil {
 		body(nil)

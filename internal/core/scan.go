@@ -297,7 +297,7 @@ func (p *packBody) RunRange(_ *Worker, lo, hi int) {
 			at := p.counts[ci]
 			for i := blo; i < bhi; i++ {
 				if p.keep(i) {
-					p.out[at] = int32(i)
+					p.out[at] = int32(i) //lint:scared pack cursor: at walks [counts[ci], counts[ci+1]), this chunk's slots by the exclusive-scan invariant
 					at++
 				}
 			}

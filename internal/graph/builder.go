@@ -56,7 +56,7 @@ func (b *Builder) Build(w *core.Worker, n int32, edges []Edge) *Graph {
 	core.ForRange(w, 0, len(edges), 0, func(i int) {
 		e := edges[i]
 		slot := atomic.AddInt32(&cur[e.From], 1) - 1
-		adj[slot] = e.To
+		adj[slot] = e.To //lint:scared counting-sort scatter: cur[v] starts at the exclusive-scan offset, so slots are unique within v's segment
 	})
 	return &b.g
 }
@@ -73,7 +73,7 @@ func (b *Builder) BuildW(w *core.Worker, n int32, edges []WEdge) *WGraph {
 	core.ForRange(w, 0, len(edges), 0, func(i int) {
 		e := edges[i]
 		slot := atomic.AddInt32(&cur[e.From], 1) - 1
-		adj[slot] = e.To
+		adj[slot] = e.To //lint:scared counting-sort scatter: cur[v] starts at the exclusive-scan offset, so slots are unique within v's segment
 		wgt[slot] = e.W
 	})
 	b.wg.Graph = b.g
@@ -97,7 +97,7 @@ func (b *Builder) Transpose(w *core.Worker, g *Graph) *Graph {
 	core.ForRange(w, 0, int(g.N), 0, func(u int) {
 		for _, v := range adjIn[offsIn[u]:offsIn[u+1]] {
 			slot := atomic.AddInt32(&cur[v], 1) - 1
-			adj[slot] = int32(u)
+			adj[slot] = int32(u) //lint:scared counting-sort scatter: cur[v] starts at the exclusive-scan offset, so slots are unique within v's segment
 		}
 	})
 	return &b.g

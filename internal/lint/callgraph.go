@@ -111,6 +111,16 @@ func (a *analysis) buildIndex() {
 	}
 }
 
+// bodyInterfaceMethods maps scheduler primitives that accept an
+// interface-valued body to the method the scheduler invokes on it. A
+// call like w.ForBody(lo, hi, grain, b) never names RunRange at the
+// call site, so without this edge the coverage BFS would lose the body
+// type's method entirely.
+var bodyInterfaceMethods = map[string][]string{
+	"ForBody":   {"RunRange"},
+	"SpawnTask": {"RunTask"},
+}
+
 // scanFuncBody fills fi.mask and fi.calls from the function body
 // (including nested closures).
 func (a *analysis) scanFuncBody(fi *funcInfo) {
@@ -126,6 +136,28 @@ func (a *analysis) scanFuncBody(fi *funcInfo) {
 	}
 	sort.Strings(methodPkgs)
 
+	// funcValueRef records a function or method *value* (a bare
+	// identifier or method value passed as an argument or bound to a
+	// variable) as a potential call: the body runs when some callee
+	// invokes the value, so the coverage BFS must traverse it. Names
+	// that resolve to no function declaration are harmless noise.
+	funcValueRef := func(e ast.Expr) {
+		switch v := e.(type) {
+		case *ast.Ident:
+			fi.calls = append(fi.calls, callRef{name: v.Name, pkgs: []string{fi.pkg.path}})
+		case *ast.SelectorExpr:
+			if id, ok := v.X.(*ast.Ident); ok {
+				if imp, isImport := f.imports[id.Name]; isImport {
+					if rel, inModule := a.modRel(imp); inModule {
+						fi.calls = append(fi.calls, callRef{name: v.Sel.Name, pkgs: []string{rel}})
+					}
+					return
+				}
+			}
+			fi.calls = append(fi.calls, callRef{name: v.Sel.Name, pkgs: methodPkgs})
+		}
+	}
+
 	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
 		switch v := n.(type) {
 		case *ast.GoStmt:
@@ -134,12 +166,33 @@ func (a *analysis) scanFuncBody(fi *funcInfo) {
 			if v.Type != nil {
 				fi.use(declConstruct(f, v.Type))
 			}
+			for _, val := range v.Values {
+				funcValueRef(val)
+			}
+		case *ast.AssignStmt:
+			// f := helper / g := x.Method binds a function value the
+			// callee may invoke later.
+			for _, rhs := range v.Rhs {
+				funcValueRef(rhs)
+			}
 		case *ast.CallExpr:
+			for _, arg := range v.Args {
+				funcValueRef(arg)
+			}
 			if _, mask, ok := classifyCall(f, v); ok {
 				fi.use(mask)
 				return true
 			}
-			switch fun := v.Fun.(type) {
+			// Unwrap explicit generic instantiation: helper[T](...) and
+			// pkg.Helper[T](...) call the generic declaration.
+			fun := v.Fun
+			switch inst := fun.(type) {
+			case *ast.IndexExpr:
+				fun = inst.X
+			case *ast.IndexListExpr:
+				fun = inst.X
+			}
+			switch fun := fun.(type) {
 			case *ast.Ident:
 				fi.calls = append(fi.calls, callRef{name: fun.Name, pkgs: []string{fi.pkg.path}})
 			case *ast.SelectorExpr:
@@ -148,12 +201,22 @@ func (a *analysis) scanFuncBody(fi *funcInfo) {
 						if rel, inModule := a.modRel(imp); inModule {
 							fi.calls = append(fi.calls, callRef{name: fun.Sel.Name, pkgs: []string{rel}})
 						}
+						if implied, ok := bodyInterfaceMethods[fun.Sel.Name]; ok {
+							for _, m := range implied {
+								fi.calls = append(fi.calls, callRef{name: m, pkgs: methodPkgs})
+							}
+						}
 						return true
 					}
 				}
 				// Method call on a value: resolve by name across the
 				// own package and imported in-module packages.
 				fi.calls = append(fi.calls, callRef{name: fun.Sel.Name, pkgs: methodPkgs})
+				if implied, ok := bodyInterfaceMethods[fun.Sel.Name]; ok {
+					for _, m := range implied {
+						fi.calls = append(fi.calls, callRef{name: m, pkgs: methodPkgs})
+					}
+				}
 			}
 		}
 		return true

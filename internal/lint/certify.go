@@ -107,7 +107,7 @@ func (a *analysis) certify() *CertReport {
 				}
 				var pr *prover
 				if typed {
-					pr = newProver(a, tp, f, fd)
+					pr = newProver(a, tp, f, fd, loader)
 				}
 				for _, s := range collectSites(f, fd, pr) {
 					pos := a.fset.Position(s.call.Pos())

@@ -306,17 +306,20 @@ type use struct {
 	from1    bool        // scan over x[1:]
 	callName string      // scan / permute primitive name
 	scanLHS  types.Object
-	why      string // useOther reason
+	resIdx   int        // tuple define: which result this variable binds
+	tupleLhs []ast.Expr // tuple define: the full Lhs list (sibling results)
+	why      string     // useOther reason
 }
 
 // ---------------------------------------------------------------------
 // The prover: one (package, file, function) analysis scope.
 
 type prover struct {
-	a  *analysis
-	tp *typedPkg
-	f  *fileInfo
-	fd *ast.FuncDecl
+	a      *analysis
+	tp     *typedPkg
+	f      *fileInfo
+	fd     *ast.FuncDecl
+	loader *typeLoader // for interprocedural summaries (may be nil)
 
 	facts map[types.Object]*objFacts
 	uses  map[types.Object][]*use
@@ -325,8 +328,8 @@ type prover struct {
 	nnDone bool
 }
 
-func newProver(a *analysis, tp *typedPkg, f *fileInfo, fd *ast.FuncDecl) *prover {
-	p := &prover{a: a, tp: tp, f: f, fd: fd}
+func newProver(a *analysis, tp *typedPkg, f *fileInfo, fd *ast.FuncDecl, loader *typeLoader) *prover {
+	p := &prover{a: a, tp: tp, f: f, fd: fd, loader: loader}
 	p.collect()
 	return p
 }
@@ -461,10 +464,19 @@ func (p *prover) classifyUse(id *ast.Ident, obj types.Object, path []ast.Node) *
 				continue
 			}
 			if par.Tok == token.DEFINE && p.tp.info.Defs[id] != nil {
-				u := &use{kind: useDef, op: token.ILLEGAL}
-				if len(par.Lhs) == len(par.Rhs) {
+				u := &use{kind: useDef, op: token.ILLEGAL, resIdx: i}
+				switch {
+				case len(par.Lhs) == len(par.Rhs):
 					u.rhs = par.Rhs[i]
 					u.op = token.DEFINE
+				case len(par.Rhs) == 1:
+					if call, isCall := unparen(par.Rhs[0]).(*ast.CallExpr); isCall {
+						// x, y := f(...): each variable binds one result
+						// of a single call — still a single definition.
+						u.rhs = call
+						u.op = token.DEFINE
+						u.tupleLhs = par.Lhs
+					}
 				}
 				return u
 			}
@@ -1083,16 +1095,24 @@ func (p *prover) nnExpr(e ast.Expr) bool {
 // ---------------------------------------------------------------------
 // Length denotations: "len(out)" facts that survive canonicalization.
 
-// lenDenot denotes a slice length: either a concrete expression or
-// symbolically len(lenOf) for a variable with no make definition (a
-// parameter).
+// lenDenot denotes a slice length: a concrete expression, symbolically
+// len(lenOf) for a variable with no make definition (a parameter), or a
+// bare constant (hasC) produced by a function summary whose bound has
+// no expression in the caller's file.
 type lenDenot struct {
 	expr  ast.Expr
 	lenOf types.Object
+	cval  int64
+	hasC  bool
 }
 
 // denotEq compares two length denotations canonically.
 func (p *prover) denotEq(a, b lenDenot) bool {
+	if a.hasC || b.hasC {
+		av, aok := p.denotConst(a)
+		bv, bok := p.denotConst(b)
+		return aok && bok && av == bv
+	}
 	if a.expr != nil && b.expr != nil {
 		return p.exprEq(a.expr, b.expr)
 	}
@@ -1121,6 +1141,9 @@ func (p *prover) denotEq(a, b lenDenot) bool {
 
 // denotConst evaluates a length denotation to a constant.
 func (p *prover) denotConst(d lenDenot) (int64, bool) {
+	if d.hasC {
+		return d.cval, true
+	}
 	e := d.expr
 	if e == nil {
 		e = p.makeLen(d.lenOf)
@@ -1144,6 +1167,87 @@ type targetSite struct {
 	pos  token.Pos
 }
 
+// provePoint is the program point at which a provenance proof must
+// hold: a real certification site (where the bound is checked against
+// the call's target slice) or a helper's return statement (where the
+// bound is captured for a function summary instead).
+type provePoint struct {
+	pos      token.Pos
+	ctx      evCtx
+	pattern  core.Pattern
+	property string
+	sink     boundSink
+}
+
+// boundSink receives the proved domain bound of an offsets proof.
+type boundSink interface {
+	// matchLen accepts the proved bound (the filled/packed/permuted
+	// domain length). ok=false with empty why means a bound mismatch
+	// (the proof supplies its own message); non-empty why is a hard
+	// refusal (e.g. the target length cannot be resolved).
+	matchLen(p *prover, bound lenDenot) (ok bool, why string)
+	// matchTotal accepts a scan proof's returned-total variable.
+	matchTotal(p *prover, total types.Object) (ok bool, why string)
+	// constOutLen resolves the target length to a constant, for proofs
+	// that need a concrete range check (non-identity affine fills).
+	constOutLen(p *prover) (int64, bool, string)
+}
+
+// siteSink checks the bound against a real call site's target slice.
+type siteSink struct{ s *targetSite }
+
+func (k *siteSink) matchLen(p *prover, bound lenDenot) (bool, string) {
+	outLen, why := p.outDenot(k.s)
+	if why != "" {
+		return false, why
+	}
+	return p.denotEq(outLen, bound), ""
+}
+
+func (k *siteSink) matchTotal(p *prover, total types.Object) (bool, string) {
+	outLen, why := p.outDenot(k.s)
+	if why != "" {
+		return false, why
+	}
+	if outLen.expr != nil {
+		if id, isID := p.canon(outLen.expr).(*ast.Ident); isID && p.objOf(id) == total {
+			return true, ""
+		}
+	}
+	return false, ""
+}
+
+func (k *siteSink) constOutLen(p *prover) (int64, bool, string) {
+	outLen, why := p.outDenot(k.s)
+	if why != "" {
+		return 0, false, why
+	}
+	v, ok := p.denotConst(outLen)
+	return v, ok, ""
+}
+
+// captureSink records the bound for the summary builder; every bound is
+// accepted (the caller of the summary does the checking).
+type captureSink struct {
+	bound    lenDenot
+	hasBound bool
+	total    types.Object
+}
+
+func (k *captureSink) matchLen(p *prover, bound lenDenot) (bool, string) {
+	k.bound, k.hasBound = bound, true
+	return true, ""
+}
+
+func (k *captureSink) matchTotal(p *prover, total types.Object) (bool, string) {
+	k.total = total
+	return true, ""
+}
+
+func (k *captureSink) constOutLen(p *prover) (int64, bool, string) {
+	return 0, false, "the fill range check needs a concrete target length, which a function summary does not have"
+}
+
 // siteProof is the outcome for one site: a discharged property with a
 // human-readable proof chain, or a refusal with the first reason found.
 type siteProof struct {
@@ -1158,14 +1262,14 @@ func refusal(format string, args ...any) siteProof {
 	return siteProof{reason: fmt.Sprintf(format, args...)}
 }
 
-// dominates reports that the site executes strictly after program point
-// `after`: textually later, and no loop around the site begins before
-// it (which could re-run the site ahead of the event).
-func (p *prover) dominates(after token.Pos, s *targetSite) bool {
-	if s.pos <= after {
+// dominates reports that the prove point executes strictly after
+// program point `after`: textually later, and no loop around the point
+// begins before it (which could re-run the point ahead of the event).
+func (p *prover) dominates(after token.Pos, pt *provePoint) bool {
+	if pt.pos <= after {
 		return false
 	}
-	for _, l := range s.ctx.loops {
+	for _, l := range pt.ctx.loops {
 		if l.begin() <= after {
 			return false
 		}
@@ -1185,6 +1289,19 @@ func (p *prover) prove(s *targetSite) siteProof {
 	if !ok {
 		return refusal("offsets argument is not a simple local variable")
 	}
+	pt := &provePoint{
+		pos: s.pos, ctx: s.ctx,
+		pattern: s.tgt.pattern, property: s.tgt.property,
+		sink: &siteSink{s: s},
+	}
+	return p.proveVar(pt, offID)
+}
+
+// proveVar proves the required property for one offsets variable at one
+// prove point. It is shared between real call sites and the summary
+// builder (which proves a helper's returned slice at its return
+// statement).
+func (p *prover) proveVar(pt *provePoint, offID *ast.Ident) siteProof {
 	obj := p.objOf(offID)
 	if obj == nil {
 		return refusal("offsets variable does not resolve (type information incomplete)")
@@ -1237,7 +1354,7 @@ func (p *prover) prove(s *targetSite) siteProof {
 	if def.rhs != nil {
 		if call, isCall := unparen(def.rhs).(*ast.CallExpr); isCall {
 			if pathStr, name, isPkg := callTarget(p.f, call); isPkg && isPath(pathStr, corePath) && name == "PackIndex" {
-				return p.provePackIndex(s, offID.Name, def, call, writes, scans, permutes)
+				return p.provePackIndex(pt, offID.Name, def, call, writes, scans, permutes)
 			}
 			if _, zeroed, isAlloc := p.allocLen(call); isAlloc {
 				switch {
@@ -1245,13 +1362,21 @@ func (p *prover) prove(s *targetSite) siteProof {
 					if !zeroed {
 						return refusal("offsets %q is checked out uninitialized (arena.AllocUninit); the scan proof needs zeroed contents", offID.Name)
 					}
-					return p.proveScan(s, offID.Name, obj, writes, scans, permutes)
+					return p.proveScan(pt, offID.Name, obj, writes, scans, permutes)
 				case len(permutes) > 0:
-					return p.provePermutation(s, offID.Name, obj, writes, permutes)
+					return p.provePermutation(pt, offID.Name, obj, writes, permutes)
 				case len(writes) > 0:
-					return p.proveAffine(s, offID.Name, obj, writes)
+					return p.proveAffine(pt, offID.Name, obj, writes)
 				}
 				return refusal("offsets %q is allocated but never filled", offID.Name)
+			}
+			// Interprocedural: offsets comes straight out of an
+			// in-module helper whose returned slice the summary engine
+			// can certify, and is never touched afterwards.
+			if len(writes)+len(scans)+len(permutes) == 0 {
+				if sp, handled := p.proveViaSummary(pt, offID.Name, def, call); handled {
+					return sp
+				}
 			}
 		}
 	}
@@ -1259,7 +1384,7 @@ func (p *prover) prove(s *targetSite) siteProof {
 }
 
 // provePackIndex discharges P1: PackIndex output used as-is.
-func (p *prover) provePackIndex(s *targetSite, name string, def *use, pack *ast.CallExpr,
+func (p *prover) provePackIndex(pt *provePoint, name string, def *use, pack *ast.CallExpr,
 	writes, scans, permutes []*use) siteProof {
 	if len(writes)+len(scans)+len(permutes) > 0 {
 		var first *use
@@ -1270,21 +1395,21 @@ func (p *prover) provePackIndex(s *targetSite, name string, def *use, pack *ast.
 		}
 		return refusal("offsets %q is mutated after core.PackIndex at line %d", name, p.line(first.pos))
 	}
-	if !p.dominates(pack.End(), s) {
+	if !p.dominates(pack.End(), pt) {
 		return refusal("call site does not strictly follow the PackIndex definition")
 	}
 	if len(pack.Args) < 2 {
 		return refusal("PackIndex call has an unexpected shape")
 	}
-	outLen, why := p.outDenot(s)
+	ok, why := pt.sink.matchLen(p, lenDenot{expr: pack.Args[1]})
 	if why != "" {
 		return refusal("%s", why)
 	}
-	if !p.denotEq(outLen, lenDenot{expr: pack.Args[1]}) {
+	if !ok {
 		return refusal("cannot prove len(target) equals the PackIndex domain bound")
 	}
 	return siteProof{
-		ok: true, source: "packindex", property: s.tgt.property,
+		ok: true, source: "packindex", property: pt.property,
 		chain: []string{
 			fmt.Sprintf("offsets %q := core.PackIndex(w, n, keep) at line %d: output is strictly increasing and unique in [0, n)", name, p.line(def.pos)),
 			"no writes, aliases, or reorderings after the definition",
@@ -1363,7 +1488,7 @@ func (p *prover) checkIdentityFill(name string, obj types.Object, writes []*use)
 }
 
 // proveAffine discharges P2: a complete affine fill a*i + c, a != 0.
-func (p *prover) proveAffine(s *targetSite, name string, obj types.Object, writes []*use) siteProof {
+func (p *prover) proveAffine(pt *provePoint, name string, obj types.Object, writes []*use) siteProof {
 	w, bound, lc, aff, rev, sp := p.checkIdentityFill(name, obj, writes)
 	if sp.reason != "" {
 		return sp
@@ -1371,24 +1496,27 @@ func (p *prover) proveAffine(s *targetSite, name string, obj types.Object, write
 	if !rev && aff.a == 0 {
 		return refusal("offsets %q fill is affine with stride 0 (a*i+c, a=0): values repeat", name)
 	}
-	if s.tgt.pattern == core.RngInd && (rev || aff.a < 0) {
+	if pt.pattern == core.RngInd && (rev || aff.a < 0) {
 		return refusal("offsets %q fill is descending: unique but not monotone", name)
 	}
-	if !p.dominates(lc.end(), s) {
+	if !p.dominates(lc.end(), pt) {
 		return refusal("call site does not strictly follow the fill loop")
-	}
-	outLen, why := p.outDenot(s)
-	if why != "" {
-		return refusal("%s", why)
 	}
 	identity := rev || (aff.a == 1 && aff.c == 0)
 	if identity {
-		if !p.denotEq(outLen, bound) {
+		ok, why := pt.sink.matchLen(p, bound)
+		if why != "" {
+			return refusal("%s", why)
+		}
+		if !ok {
 			return refusal("cannot prove len(target) covers the filled range of %q", name)
 		}
 	} else {
 		bv, bok := p.denotConst(bound)
-		lv, lok := p.denotConst(outLen)
+		lv, lok, why := pt.sink.constOutLen(p)
+		if why != "" {
+			return refusal("%s", why)
+		}
 		if !bok || !lok {
 			return refusal("offsets %q fill is affine (a=%d, c=%d) but bounds are only provable for constant sizes", name, aff.a, aff.c)
 		}
@@ -1405,7 +1533,7 @@ func (p *prover) proveAffine(s *targetSite, name string, obj types.Object, write
 		desc = "descending identity B-1-i"
 	}
 	return siteProof{
-		ok: true, source: "affine-fill", property: s.tgt.property,
+		ok: true, source: "affine-fill", property: pt.property,
 		chain: []string{
 			fmt.Sprintf("offsets %q is filled as a*i+c (%s) by a complete loop over [0, len) at line %d: injective", name, desc, p.line(w.pos)),
 			"no other writes, aliases, or reorderings",
@@ -1417,8 +1545,8 @@ func (p *prover) proveAffine(s *targetSite, name string, obj types.Object, write
 // provePermutation discharges P3: an identity fill whose only later
 // mutations are permutation-preserving sorts, so the slice remains a
 // permutation of [0, len).
-func (p *prover) provePermutation(s *targetSite, name string, obj types.Object, writes, permutes []*use) siteProof {
-	if s.tgt.pattern == core.RngInd {
+func (p *prover) provePermutation(pt *provePoint, name string, obj types.Object, writes, permutes []*use) siteProof {
+	if pt.pattern == core.RngInd {
 		return refusal("offsets %q is a sorted permutation: unique, but monotonicity is not preserved by later sorts", name)
 	}
 	w, bound, lc, aff, rev, sp := p.checkIdentityFill(name, obj, writes)
@@ -1433,18 +1561,18 @@ func (p *prover) provePermutation(s *targetSite, name string, obj types.Object, 
 			return refusal("offsets %q is sorted before its identity fill completes", name)
 		}
 	}
-	if !p.dominates(lc.end(), s) {
+	if !p.dominates(lc.end(), pt) {
 		return refusal("call site does not strictly follow the identity fill")
 	}
-	outLen, why := p.outDenot(s)
+	ok, why := pt.sink.matchLen(p, bound)
 	if why != "" {
 		return refusal("%s", why)
 	}
-	if !p.denotEq(outLen, bound) {
+	if !ok {
 		return refusal("cannot prove len(target) covers the permuted range of %q", name)
 	}
 	return siteProof{
-		ok: true, source: "permutation", property: s.tgt.property,
+		ok: true, source: "permutation", property: pt.property,
 		chain: []string{
 			fmt.Sprintf("offsets %q is identity-filled over [0, len) at line %d", name, p.line(w.pos)),
 			fmt.Sprintf("only permutation-preserving operations (%s) touch it afterwards: it remains a permutation of [0, len)", permuteNames(permutes)),
@@ -1471,8 +1599,8 @@ func permuteNames(permutes []*use) string {
 
 // proveScan discharges P4: zero-initialized, non-negative pre-scan
 // writes, one prefix scan, untouched afterwards.
-func (p *prover) proveScan(s *targetSite, name string, obj types.Object, writes, scans, permutes []*use) siteProof {
-	if s.tgt.pattern == core.SngInd {
+func (p *prover) proveScan(pt *provePoint, name string, obj types.Object, writes, scans, permutes []*use) siteProof {
+	if pt.pattern == core.SngInd {
 		return refusal("offsets %q is a prefix scan: monotone, but empty buckets repeat values so uniqueness fails", name)
 	}
 	if len(permutes) > 0 {
@@ -1508,22 +1636,16 @@ func (p *prover) proveScan(s *targetSite, name string, obj types.Object, writes,
 			return refusal("the scan covers %s[1:] but a write at line %d may touch index 0", name, p.line(w.pos))
 		}
 	}
-	if !p.dominates(scan.pos, s) {
+	if !p.dominates(scan.pos, pt) {
 		return refusal("call site does not strictly follow the scan")
 	}
 	total := scan.scanLHS
 	if total == nil || !p.stableObj(total) {
 		return refusal("the scan's returned total is not bound to a stable variable")
 	}
-	outLen, why := p.outDenot(s)
+	okBound, why := pt.sink.matchTotal(p, total)
 	if why != "" {
 		return refusal("%s", why)
-	}
-	okBound := false
-	if outLen.expr != nil {
-		if id, isID := p.canon(outLen.expr).(*ast.Ident); isID && p.objOf(id) == total {
-			okBound = true
-		}
 	}
 	if !okBound {
 		return refusal("cannot prove len(target) equals the scan's returned total %q", total.Name())
@@ -1533,7 +1655,7 @@ func (p *prover) proveScan(s *targetSite, name string, obj types.Object, writes,
 		form = "offsets[1:] (index 0 stays zero)"
 	}
 	return siteProof{
-		ok: true, source: "scan", property: s.tgt.property,
+		ok: true, source: "scan", property: pt.property,
 		chain: []string{
 			fmt.Sprintf("offsets %q starts zeroed and every pre-scan write is non-negative", name),
 			fmt.Sprintf("core.%s over %s at line %d: prefix sums of non-negative values are monotone", scan.callName, form, p.line(scan.pos)),

@@ -1,0 +1,825 @@
+package lint
+
+// Interprocedural write-effect summaries for the races pass: when a
+// parallel region calls an in-module function, the region's safety
+// depends on what that function writes. effectOf summarizes a callee
+// once, memoized per pass:
+//
+//	paramPlain   the callee performs plain writes through memory
+//	             reachable from its parameters or receiver — the
+//	             caller must hand it task-owned memory
+//	paramAtomic  the callee writes through its parameters, but only
+//	             with sync/atomic operations
+//	shared       the callee writes package-level state (or something
+//	             the summary cannot root) without synchronization;
+//	             calling it from a region is refused outright
+//
+// Writes the callee makes under a held mutex, writes to memory it
+// allocates itself, and atomic writes to shared state are all absent
+// from the summary: they are safe regardless of the calling region.
+// Function literals inside the callee are included — the dominant
+// pattern here is a driver handing closures to a parallel primitive,
+// and those closures' writes through the driver's parameters are
+// exactly what the caller needs to know about.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// writeEffect is one function's summarized write behavior.
+type writeEffect struct {
+	paramPlain  bool
+	paramAtomic bool
+	shared      string // first offending write, for the refusal message
+}
+
+// effDecl locates a function's declaration with its type context.
+type effDecl struct {
+	tp *typedPkg
+	f  *fileInfo
+	fd *ast.FuncDecl
+}
+
+// effectOf returns fn's memoized write effect. Recursive cycles
+// resolve optimistically (the first activation summarizes the rest of
+// the body; a cycle participant's own frame contributes nothing extra).
+func (rp *racePass) effectOf(fn *types.Func) *writeEffect {
+	if eff, done := rp.effects[fn]; done {
+		return eff
+	}
+	if rp.inEff == nil {
+		rp.inEff = map[*types.Func]bool{}
+	}
+	if rp.inEff[fn] {
+		return &writeEffect{}
+	}
+	rp.inEff[fn] = true
+	defer delete(rp.inEff, fn)
+
+	eff := rp.computeEffect(fn)
+	rp.effects[fn] = eff
+	return eff
+}
+
+func (rp *racePass) computeEffect(fn *types.Func) *writeEffect {
+	d := rp.declOf(fn)
+	if d == nil || d.fd.Body == nil {
+		// In-module but undeclared (assembly stub, build-tagged out):
+		// refuse rather than guess.
+		return &writeEffect{shared: "body of " + fn.Name() + " not available to the analysis"}
+	}
+	w := &effWalk{
+		rp: rp, tp: d.tp, f: d.f, fd: d.fd,
+		eff:    &writeEffect{},
+		params: map[types.Object]bool{},
+		defs:   map[types.Object]*effFact{},
+	}
+	if d.fd.Recv != nil {
+		for _, fld := range d.fd.Recv.List {
+			for _, nm := range fld.Names {
+				if obj := d.tp.info.Defs[nm]; obj != nil {
+					w.params[obj] = true
+				}
+			}
+		}
+	}
+	if d.fd.Type.Params != nil {
+		for _, fld := range d.fd.Type.Params.List {
+			for _, nm := range fld.Names {
+				if obj := d.tp.info.Defs[nm]; obj != nil {
+					w.params[obj] = true
+				}
+			}
+		}
+	}
+	w.collect()
+	ast.Inspect(d.fd.Body, w.visit)
+	return w.eff
+}
+
+// declOf finds the FuncDecl for an in-module *types.Func, indexing each
+// package's declarations on first use.
+func (rp *racePass) declOf(fn *types.Func) *effDecl {
+	if rp.declIdx == nil {
+		rp.declIdx = map[*types.Func]*effDecl{}
+		rp.idxDone = map[string]bool{}
+	}
+	if d, ok := rp.declIdx[fn]; ok {
+		return d
+	}
+	if fn.Pkg() == nil {
+		return nil
+	}
+	rel, ok := rp.a.modRel(fn.Pkg().Path())
+	if !ok {
+		return nil
+	}
+	if !rp.idxDone[rel] {
+		rp.idxDone[rel] = true
+		if tp := rp.loader.check(rel); tp != nil {
+			for _, f := range tp.pkg.files {
+				for _, decl := range f.ast.Decls {
+					fd, isFn := decl.(*ast.FuncDecl)
+					if !isFn {
+						continue
+					}
+					if tf, isTF := tp.info.Defs[fd.Name].(*types.Func); isTF {
+						rp.declIdx[tf] = &effDecl{tp: tp, f: f, fd: fd}
+					}
+				}
+			}
+		}
+	}
+	return rp.declIdx[fn]
+}
+
+// ---------------------------------------------------------------------
+// The callee body walk
+// ---------------------------------------------------------------------
+
+// effKind roots a memory access: callee-allocated, parameter-reachable,
+// or package-shared. Order matters — merging takes the worst.
+type effKind int
+
+const (
+	effLocal effKind = iota
+	effParam
+	effShared
+)
+
+// effFact accumulates every expression a variable was ever bound to;
+// the variable's root is the worst root among them. unknown marks
+// bindings the walk cannot model (tuple results, range clauses).
+type effFact struct {
+	srcs    []ast.Expr
+	unknown bool
+}
+
+type effWalk struct {
+	rp        *racePass
+	tp        *typedPkg
+	f         *fileInfo
+	fd        *ast.FuncDecl
+	eff       *writeEffect
+	params    map[types.Object]bool
+	defs      map[types.Object]*effFact
+	litLocal  map[types.Object]bool     // region-closure params: per-invocation values
+	litHanded map[types.Object]ast.Expr // region-closure handed params -> backing argument
+	inRoot    map[types.Object]bool     // rootOf cycle guard (swap chains)
+	held      int                       // mutex depth: writes under a held lock are the callee's business
+}
+
+// collect records every binding of every local for alias resolution.
+func (w *effWalk) collect() {
+	fact := func(obj types.Object) *effFact {
+		fx := w.defs[obj]
+		if fx == nil {
+			fx = &effFact{}
+			w.defs[obj] = fx
+		}
+		return fx
+	}
+	ast.Inspect(w.fd.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			if len(v.Lhs) == len(v.Rhs) {
+				for i, lhs := range v.Lhs {
+					id, ok := unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := w.objOf(id)
+					if obj == nil {
+						continue
+					}
+					// x = append(x, ...) and x = x[i:j] rebind x to the
+					// same underlying memory: no new root.
+					if v.Tok != token.DEFINE && selfDerived(w.tp, v.Rhs[i], obj) {
+						continue
+					}
+					fact(obj).srcs = append(fact(obj).srcs, v.Rhs[i])
+				}
+				return true
+			}
+			// Tuple call/assertion results: not modeled.
+			for _, lhs := range v.Lhs {
+				if id, ok := unparen(lhs).(*ast.Ident); ok {
+					if obj := w.objOf(id); obj != nil {
+						fact(obj).unknown = true
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, nm := range v.Names {
+				obj := w.tp.info.Defs[nm]
+				if obj == nil {
+					continue
+				}
+				fx := fact(obj)
+				switch {
+				case len(v.Values) == len(v.Names):
+					fx.srcs = append(fx.srcs, v.Values[i])
+				case len(v.Values) > 0:
+					fx.unknown = true // tuple initializer
+				}
+				// No initializer: zero value, srcs stays empty.
+			}
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{v.Key, v.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := w.objOf(id); obj != nil {
+						// The value variable may alias elements of the
+						// ranged expression; root both through it.
+						fact(obj).srcs = append(fact(obj).srcs, v.X)
+					}
+				}
+			}
+		case *ast.FuncLit:
+			// Scalar and worker-handle parameters of any closure are
+			// per-invocation values wherever the closure ends up invoked;
+			// claim them so writes rooted at them stay local. Reference
+			// parameters are left unclaimed (conservatively shared)
+			// unless a region call site hands them memory.
+			if v.Type.Params != nil {
+				for _, fld := range v.Type.Params.List {
+					for _, nm := range fld.Names {
+						obj := w.tp.info.Defs[nm]
+						if obj != nil && perInvocationParam(obj.Type()) {
+							if w.litLocal == nil {
+								w.litLocal = map[types.Object]bool{}
+							}
+							w.litLocal[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// selfDerived reports whether rhs is append(x, ...) or a reslice of x —
+// an assignment to x that preserves x's memory root.
+func selfDerived(tp *typedPkg, rhs ast.Expr, obj types.Object) bool {
+	isSelf := func(e ast.Expr) bool {
+		id, ok := unparen(e).(*ast.Ident)
+		return ok && (tp.info.Uses[id] == obj || tp.info.Defs[id] == obj)
+	}
+	switch v := unparen(rhs).(type) {
+	case *ast.SliceExpr:
+		return isSelf(v.X)
+	case *ast.CallExpr:
+		if id, ok := unparen(v.Fun).(*ast.Ident); ok && id.Name == "append" && len(v.Args) > 0 {
+			return isSelf(v.Args[0])
+		}
+	}
+	return false
+}
+
+func (w *effWalk) objOf(id *ast.Ident) types.Object {
+	if o := w.tp.info.Uses[id]; o != nil {
+		return o
+	}
+	return w.tp.info.Defs[id]
+}
+
+// visit is the single-pass effect walk. Statement order is approximate
+// (ast.Inspect order is source order within a function), which is
+// enough for the straight-line Lock/Unlock discipline this module uses.
+func (w *effWalk) visit(n ast.Node) bool {
+	switch v := n.(type) {
+	case *ast.AssignStmt:
+		if v.Tok == token.DEFINE {
+			return true
+		}
+		for _, lhs := range v.Lhs {
+			w.write(lhs)
+		}
+	case *ast.IncDecStmt:
+		w.write(v.X)
+	case *ast.DeferStmt:
+		if w.lockOp(v.Call, true) {
+			return false
+		}
+	case *ast.GoStmt:
+		// The spawned body is walked by Inspect anyway if it is a
+		// literal; a dynamic launch hides writes we cannot see.
+		if _, ok := unparen(v.Call.Fun).(*ast.FuncLit); !ok {
+			w.sharedAt(v, "launches a goroutine through "+types.ExprString(v.Call.Fun))
+		}
+	case *ast.CallExpr:
+		return !w.call(v)
+	}
+	return true
+}
+
+// write classifies one assignment target in the callee.
+func (w *effWalk) write(lhs ast.Expr) {
+	base, steps, ok := peelTarget(lhs)
+	if !ok {
+		w.sharedAt(lhs, "writes through unmodeled expression "+types.ExprString(lhs))
+		return
+	}
+	if len(steps) == 0 {
+		return // writing a variable itself: callee-frame storage
+	}
+	obj := w.objOf(base)
+	if obj == nil {
+		w.sharedAt(lhs, "writes through unresolved "+types.ExprString(lhs))
+		return
+	}
+	if !w.crosses(obj, steps) {
+		return // stays inside a callee-frame variable (array/struct value)
+	}
+	w.emit(w.rootOf(obj, 0), lhs, false)
+}
+
+// emit folds one rooted write into the summary.
+func (w *effWalk) emit(kind effKind, at ast.Node, atomic bool) {
+	switch kind {
+	case effLocal:
+	case effParam:
+		if atomic {
+			w.eff.paramAtomic = true
+		} else if w.held == 0 {
+			w.eff.paramPlain = true
+		}
+	case effShared:
+		if !atomic && w.held == 0 {
+			w.sharedAt(at, "writes "+w.describe(at))
+		}
+	}
+}
+
+func (w *effWalk) describe(at ast.Node) string {
+	if e, ok := at.(ast.Expr); ok {
+		return types.ExprString(e)
+	}
+	return "shared state"
+}
+
+func (w *effWalk) sharedAt(at ast.Node, what string) {
+	if w.eff.shared != "" {
+		return
+	}
+	pos := w.rp.a.fset.Position(at.Pos())
+	w.eff.shared = fmt.Sprintf("%s at %s:%d", what, w.f.rel, pos.Line)
+}
+
+// crosses reports whether the access path leaves the variable's own
+// storage (mirrors regionCheck.memClass's crossing analysis).
+func (w *effWalk) crosses(obj types.Object, steps []targetStep) bool {
+	t := obj.Type()
+	for _, st := range steps {
+		switch {
+		case st.star:
+			return true
+		case st.index != nil:
+			if _, isArr := t.Underlying().(*types.Array); !isArr {
+				return true
+			}
+		case st.field != "":
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				return true
+			}
+		}
+		t = stepType(t, st)
+		if t == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// rootOf resolves whose memory a variable's referent is: allocated
+// here, reachable from a parameter, or package-shared. A variable's
+// root is the worst root over everything it was ever bound to.
+func (w *effWalk) rootOf(obj types.Object, depth int) effKind {
+	if depth > 6 || obj == nil {
+		return effShared
+	}
+	if w.params[obj] {
+		return effParam
+	}
+	if w.litLocal[obj] {
+		return effLocal
+	}
+	if back, ok := w.litHanded[obj]; ok {
+		return w.aliasRoot(back, depth+1)
+	}
+	v, isVar := obj.(*types.Var)
+	if !isVar {
+		return effShared
+	}
+	if v.Parent() != nil && v.Parent().Parent() == types.Universe {
+		return effShared // package-level variable
+	}
+	fx := w.defs[obj]
+	if fx == nil || fx.unknown {
+		return effShared // untracked local (unclaimed closure param, tuple result)
+	}
+	if w.inRoot[obj] {
+		// Binding cycle (a, b = b, a ping-pong): the cycle itself
+		// introduces no memory; the true roots appear on the bindings
+		// outside it, which the outer worst-of fold still visits.
+		return effLocal
+	}
+	if w.inRoot == nil {
+		w.inRoot = map[types.Object]bool{}
+	}
+	w.inRoot[obj] = true
+	kind := effLocal // no bindings at all: the zero value
+	for _, src := range fx.srcs {
+		if k := w.aliasRoot(src, depth+1); k > kind {
+			kind = k
+		}
+	}
+	delete(w.inRoot, obj)
+	return kind
+}
+
+// aliasRoot resolves the root of the memory an expression evaluates to.
+func (w *effWalk) aliasRoot(e ast.Expr, depth int) effKind {
+	if depth > 8 {
+		return effShared
+	}
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		if v.Name == "nil" {
+			return effLocal
+		}
+		return w.rootOf(w.objOf(v), depth)
+	case *ast.SelectorExpr:
+		return w.aliasRoot(v.X, depth+1)
+	case *ast.IndexExpr:
+		return w.aliasRoot(v.X, depth+1)
+	case *ast.StarExpr:
+		return w.aliasRoot(v.X, depth+1)
+	case *ast.SliceExpr:
+		return w.aliasRoot(v.X, depth+1)
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			return w.aliasRoot(v.X, depth+1)
+		}
+	case *ast.CompositeLit, *ast.BasicLit, *ast.FuncLit:
+		return effLocal
+	case *ast.CallExpr:
+		if id, ok := unparen(v.Fun).(*ast.Ident); ok {
+			switch {
+			case id.Name == "make" || id.Name == "new":
+				return effLocal
+			case id.Name == "append" && len(v.Args) > 0:
+				return w.aliasRoot(v.Args[0], depth+1)
+			}
+		}
+		if tv, ok := w.tp.info.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
+			return w.aliasRoot(v.Args[0], depth+1)
+		}
+		// A call result is presumed derived from the call's reference
+		// inputs: the receiver and by-reference arguments.
+		kind := effLocal
+		if sel, ok := v.Fun.(*ast.SelectorExpr); ok {
+			isQualifier := false
+			if id, isID := unparen(sel.X).(*ast.Ident); isID {
+				_, isQualifier = w.objOf(id).(*types.PkgName)
+			}
+			if !isQualifier {
+				if k := w.aliasRoot(sel.X, depth+1); k > kind {
+					kind = k
+				}
+			}
+		}
+		for _, arg := range byRefArgs(w.tp, v) {
+			if k := w.aliasRoot(arg.expr, depth+1); k > kind {
+				kind = k
+			}
+		}
+		return kind
+	}
+	return effShared
+}
+
+// lockOp tracks mutex depth inside the callee.
+func (w *effWalk) lockOp(call *ast.CallExpr, deferred bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !isNamedRecv(w.tp, sel.X, syncPath, "Mutex", "RWMutex") {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		if !deferred {
+			w.held++
+		}
+		return true
+	case "Unlock":
+		if !deferred && w.held > 0 {
+			w.held--
+		}
+		return true
+	case "RLock", "RUnlock", "TryLock":
+		return true
+	}
+	return false
+}
+
+// call classifies one call inside the callee. Returns true when the
+// call was fully handled (Inspect should not descend into it).
+func (w *effWalk) call(call *ast.CallExpr) bool {
+	if w.lockOp(call, false) {
+		return true
+	}
+	w.claimRegionLits(call)
+	if pathStr, name, isPkg := callTarget(w.f, call); isPkg {
+		if isPath(pathStr, atomicPath) {
+			if atomicWritePrefix(name) && len(call.Args) > 0 {
+				w.emit(w.targetRoot(call.Args[0]), call, true)
+			}
+			return true
+		}
+		if isPath(pathStr, corePath) && coreAtomicHelpers[name] {
+			if len(call.Args) > 0 {
+				w.emit(w.targetRoot(call.Args[0]), call, true)
+			}
+			return true
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if isAtomicRecv(w.tp, sel.X) {
+			if atomicWriteMethods[sel.Sel.Name] {
+				w.emit(w.targetRoot(sel.X), call, true)
+			}
+			return true
+		}
+		if isNamedRecv(w.tp, sel.X, syncPath, "Mutex", "RWMutex", "WaitGroup", "Cond", "Once") {
+			return true // synchronization, not user-state writes
+		}
+	}
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "copy":
+			if len(call.Args) == 2 {
+				w.emit(w.targetRoot(call.Args[0]), call, false)
+			}
+			return false // still descend for the source expression
+		case "delete":
+			if len(call.Args) > 0 {
+				w.emit(w.targetRoot(call.Args[0]), call, false)
+			}
+			return false
+		}
+	}
+
+	fn, delegated := calleeOfTyped(w.tp, call)
+	var boundRecv ast.Expr
+	if fn == nil {
+		if bf, recv := w.boundCallee(call.Fun); bf != nil {
+			fn, delegated, boundRecv = bf, false, recv
+		}
+	}
+	if delegated || fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if _, inModule := w.rp.a.modRel(fn.Pkg().Path()); !inModule {
+		key := fn.Pkg().Name() + "." + fn.Name()
+		if stdlibMutators[key] && len(call.Args) > 0 {
+			w.emit(w.targetRoot(call.Args[0]), call, false)
+		}
+		return false
+	}
+
+	// In-module sub-call: map the callee's summarized parameter writes
+	// through this call's by-reference arguments.
+	sub := w.rp.effectOf(fn)
+	if sub.shared != "" && w.held == 0 {
+		w.sharedAt(call, "calls "+fn.Name()+", which "+sub.shared)
+	}
+	if sub.paramPlain || sub.paramAtomic {
+		refs := byRefArgs(w.tp, call)
+		if boundRecv != nil {
+			if tv, ok := w.tp.info.Types[boundRecv]; !ok || tv.Type == nil || !isWorkerNamed(tv.Type) {
+				refs = append(refs, effArg{expr: boundRecv})
+			}
+		}
+		for _, arg := range refs {
+			root := w.targetRoot(arg.expr)
+			if sub.paramPlain {
+				w.emit(root, call, false)
+			}
+			if sub.paramAtomic {
+				w.emit(root, call, true)
+			}
+		}
+	}
+	return false
+}
+
+// targetRoot resolves an argument expression's memory root (through
+// &x wrappers).
+func (w *effWalk) targetRoot(e ast.Expr) effKind {
+	return w.aliasRoot(e, 0)
+}
+
+// claimRegionLits registers the parameters of function literals handed
+// to this call, before Inspect descends into the literal bodies. Value
+// scalars and the per-task *Worker handle carry no caller memory, so
+// writes rooted at them are invocation-local; parameters at a core
+// primitive's handed positions alias elements of the primitive's data
+// argument and root through it.
+func (w *effWalk) claimRegionLits(call *ast.CallExpr) {
+	handedIdx := map[int]ast.Expr{}
+	primary := -1
+	if pathStr, name, isPkg := callTarget(w.f, call); isPkg && isPath(pathStr, corePath) {
+		if spec, ok := coreRegionSpecs[name]; ok && len(spec.bodyArgs) > 0 {
+			primary = spec.bodyArgs[0]
+			if len(call.Args) > 1 {
+				for _, hi := range spec.handed {
+					handedIdx[hi] = call.Args[1]
+				}
+			}
+		}
+	}
+	for ai, arg := range call.Args {
+		lit, ok := unparen(arg).(*ast.FuncLit)
+		if !ok || lit.Type.Params == nil {
+			continue
+		}
+		idx := 0
+		for _, fld := range lit.Type.Params.List {
+			if len(fld.Names) == 0 {
+				idx++
+				continue
+			}
+			for _, nm := range fld.Names {
+				obj := w.tp.info.Defs[nm]
+				if obj != nil {
+					if back, isHanded := handedIdx[idx]; isHanded && ai == primary {
+						if w.litHanded == nil {
+							w.litHanded = map[types.Object]ast.Expr{}
+						}
+						w.litHanded[obj] = back
+					} else if perInvocationParam(obj.Type()) {
+						if w.litLocal == nil {
+							w.litLocal = map[types.Object]bool{}
+						}
+						w.litLocal[obj] = true
+					}
+				}
+				idx++
+			}
+		}
+	}
+}
+
+// perInvocationParam reports whether a closure parameter of this type
+// cannot carry caller-shared reference memory: a value scalar, or the
+// worker handle the scheduler passes each task.
+func perInvocationParam(t types.Type) bool {
+	if _, ok := t.Underlying().(*types.Basic); ok {
+		return true
+	}
+	return isWorkerNamed(t)
+}
+
+// boundCallee resolves a call through a func-typed local that was
+// bound exactly once to a method value or named function. A method
+// value carries its receiver invisibly — f := c.bump; f() writes
+// through c with no receiver in the call syntax — so the resolved
+// binding returns the receiver expression for the caller to classify
+// as by-reference memory. Func-typed parameters stay delegated: their
+// bindings belong to callers the walk cannot see.
+func (w *effWalk) boundCallee(fun ast.Expr) (*types.Func, ast.Expr) {
+	id, ok := unparen(fun).(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	obj := w.objOf(id)
+	if obj == nil || w.params[obj] {
+		return nil, nil
+	}
+	fx := w.defs[obj]
+	if fx == nil || fx.unknown || len(fx.srcs) != 1 {
+		return nil, nil
+	}
+	return methodValueBinding(w.tp, fx.srcs[0])
+}
+
+// methodValueBinding resolves the expression a func-typed local was
+// bound to: a concrete method value (returning the method and its
+// bound receiver expression) or a named function. Anything else —
+// literals, interface method values, call results — stays unresolved.
+func methodValueBinding(tp *typedPkg, src ast.Expr) (fn *types.Func, recv ast.Expr) {
+	if src == nil {
+		return nil, nil
+	}
+	objOf := func(id *ast.Ident) types.Object {
+		if o := tp.info.Uses[id]; o != nil {
+			return o
+		}
+		return tp.info.Defs[id]
+	}
+	switch v := unparen(src).(type) {
+	case *ast.Ident:
+		if f, ok := objOf(v).(*types.Func); ok {
+			return f, nil
+		}
+	case *ast.SelectorExpr:
+		if selInfo, ok := tp.info.Selections[v]; ok {
+			if selInfo.Kind() == types.MethodVal && !types.IsInterface(selInfo.Recv()) {
+				if f, isF := selInfo.Obj().(*types.Func); isF {
+					return f, v.X
+				}
+			}
+			return nil, nil
+		}
+		if f, ok := objOf(v.Sel).(*types.Func); ok {
+			return f, nil // package-qualified function value
+		}
+	}
+	return nil, nil
+}
+
+// calleeOfTyped is calleeOf without a regionCheck: resolve a call to a
+// declared function or report delegation.
+func calleeOfTyped(tp *typedPkg, call *ast.CallExpr) (fn *types.Func, delegated bool) {
+	fun := unparen(call.Fun)
+	switch v := fun.(type) {
+	case *ast.IndexExpr:
+		fun = v.X
+	case *ast.IndexListExpr:
+		fun = v.X
+	}
+	objOf := func(id *ast.Ident) types.Object {
+		if o := tp.info.Uses[id]; o != nil {
+			return o
+		}
+		return tp.info.Defs[id]
+	}
+	switch v := unparen(fun).(type) {
+	case *ast.Ident:
+		switch obj := objOf(v).(type) {
+		case *types.Func:
+			return obj, false
+		case *types.Var:
+			if _, isSig := obj.Type().Underlying().(*types.Signature); isSig {
+				return nil, true
+			}
+		}
+	case *ast.SelectorExpr:
+		switch obj := objOf(v.Sel).(type) {
+		case *types.Func:
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if types.IsInterface(sig.Recv().Type()) {
+					return nil, true
+				}
+			}
+			return obj, false
+		case *types.Var:
+			if _, isSig := obj.Type().Underlying().(*types.Signature); isSig {
+				return nil, true
+			}
+		}
+	case *ast.FuncLit:
+		return nil, true
+	}
+	return nil, false
+}
+
+// ---------------------------------------------------------------------
+// By-reference arguments
+// ---------------------------------------------------------------------
+
+type effArg struct{ expr ast.Expr }
+
+// byRefArgs lists the expressions a call could write through: the
+// method receiver and every argument whose type carries references
+// (pointer, slice, map, interface). Function-typed arguments are
+// excluded — they are delegated callees, not written-to memory — and
+// so are *Worker handles: a callee's writes to its worker's scheduling
+// state are the scheduler's synchronized business, not user state.
+func byRefArgs(tp *typedPkg, call *ast.CallExpr) []effArg {
+	var out []effArg
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if selInfo, ok := tp.info.Selections[sel]; ok && selInfo.Kind() == types.MethodVal {
+			if tv, ok := tp.info.Types[sel.X]; !ok || tv.Type == nil || !isWorkerNamed(tv.Type) {
+				out = append(out, effArg{expr: sel.X})
+			}
+		}
+	}
+	for _, arg := range call.Args {
+		tv, ok := tp.info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if isWorkerNamed(tv.Type) {
+			continue
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Pointer, *types.Slice, *types.Map, *types.Interface:
+			out = append(out, effArg{expr: arg})
+		}
+	}
+	return out
+}

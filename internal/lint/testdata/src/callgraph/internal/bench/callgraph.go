@@ -1,0 +1,79 @@
+// Callgraph regression fixtures for the interprocedural write-effect
+// engine: shapes that once slipped through callee resolution. Each
+// pair is a shared/fresh variant — the shared one must be refused, the
+// fresh one must stay clean — so a resolution gap shows up as a
+// missing refusal, not a silently blessed write.
+package bench
+
+import "fixture/internal/core"
+
+// fillG writes its slice parameter: the summary must survive generic
+// instantiation.
+func fillG[T any](dst []T, v T) {
+	for i := range dst {
+		dst[i] = v
+	}
+}
+
+// freshG writes only memory it allocates.
+func freshG[T any](n int, v T) []T {
+	out := make([]T, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func GenericShared(w *core.Worker, xs []int, n int) {
+	core.ForRange(w, 0, n, 0, func(i int) {
+		fillG(xs, i)
+	})
+}
+
+func GenericFresh(w *core.Worker, res [][]int, n int) {
+	core.ForRange(w, 0, n, 0, func(i int) {
+		res[i] = freshG(i, i)
+	})
+}
+
+type counter struct{ n int64 }
+
+func (c *counter) bump() { c.n++ }
+
+// MethodShared: a concrete method call must resolve to its declaration
+// and surface the receiver write.
+func MethodShared(w *core.Worker, c *counter, n int) {
+	core.ForRange(w, 0, n, 0, func(i int) {
+		c.bump()
+	})
+}
+
+// MethodValue: binding the method first must not hide the write.
+func MethodValue(w *core.Worker, c *counter, n int) {
+	f := c.bump
+	core.ForRange(w, 0, n, 0, func(i int) {
+		f()
+	})
+}
+
+// deferWrite performs its parameter write inside a defer.
+func deferWrite(dst []int, i int) {
+	defer func() { dst[i] = i }()
+}
+
+func DeferShared(w *core.Worker, xs []int, n int) {
+	core.ForRange(w, 0, n, 0, func(i int) {
+		deferWrite(xs, i)
+	})
+}
+
+// chain: the effect must propagate through an intermediate frame.
+func chain(dst []int, i int) { leaf(dst, i) }
+
+func leaf(dst []int, i int) { dst[i] = i }
+
+func ChainShared(w *core.Worker, xs []int, n int) {
+	core.ForRange(w, 0, n, 0, func(i int) {
+		chain(xs, i)
+	})
+}

@@ -1,0 +1,55 @@
+// Negative write-certification fixtures: each function is one
+// obligation away from a certifiable shape, and every shared write
+// here must be refused. internal/graph is an enforced directory, so
+// the unmarked refusals must also count as unexplained — only the
+// //lint:scared site is exempt.
+package graph
+
+import (
+	"sync"
+
+	"fixture/internal/core"
+)
+
+// DroppedAtomic: a captured scalar updated with a plain read-modify-
+// write where only an atomic would do.
+func DroppedAtomic(w *core.Worker, n int) int64 {
+	var total int64
+	core.ForRange(w, 0, n, 0, func(i int) {
+		total += int64(i)
+	})
+	return total
+}
+
+// EarlyUnlock: the lock is released before the write it was meant to
+// guard.
+func EarlyUnlock(w *core.Worker, n int) int {
+	var mu sync.Mutex
+	sum := 0
+	core.ForRange(w, 0, n, 0, func(i int) {
+		mu.Lock()
+		mu.Unlock()
+		sum += i
+	})
+	return sum
+}
+
+// AliasedOwner: the owner word starts as the task index but is
+// conditionally rebound, so two tasks can collide on slot 0.
+func AliasedOwner(w *core.Worker, out []int32, n int) {
+	core.ForRange(w, 0, n, 0, func(i int) {
+		t := i
+		if t > n/2 {
+			t = 0
+		}
+		out[t] = int32(i)
+	})
+}
+
+// Audited: a data-dependent scatter the analysis cannot prove, audited
+// with a marker — refused, but not unexplained.
+func Audited(w *core.Worker, out []int32, idx []int32, n int) {
+	core.ForRange(w, 0, n, 0, func(i int) {
+		out[idx[i]] = int32(i) //lint:scared fixture: duplicate-free idx established by the generator
+	})
+}

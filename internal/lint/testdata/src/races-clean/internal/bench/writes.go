@@ -1,0 +1,145 @@
+// Positive write-certification fixtures: one function per proof form
+// the races pass accepts. Every shared write here must classify as
+// worker-local, atomic, lock-guarded, or index-disjoint — a refusal in
+// this file is a regression.
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fixture/internal/core"
+)
+
+// TaskAffine: the canonical disjoint scatter, out[i] owned by task i.
+func TaskAffine(w *core.Worker, out []int32, n int) {
+	core.ForRange(w, 0, n, 0, func(i int) {
+		out[i] = int32(i)
+	})
+}
+
+// AtomicAdd: shared scalar updated only through sync/atomic.
+func AtomicAdd(w *core.Worker, n int) int64 {
+	var total atomic.Int64
+	core.ForRange(w, 0, n, 0, func(i int) {
+		total.Add(int64(i))
+	})
+	return total.Load()
+}
+
+// LockGuarded: shared accumulator under a held mutex.
+func LockGuarded(w *core.Worker, n int) int {
+	var mu sync.Mutex
+	sum := 0
+	core.ForRange(w, 0, n, 0, func(i int) {
+		mu.Lock()
+		sum += i
+		mu.Unlock()
+	})
+	return sum
+}
+
+// HandedSlot: ForEachIdx hands each invocation its own element.
+func HandedSlot(w *core.Worker, xs []int) {
+	core.ForEachIdx(w, xs, 0, func(i int, x *int) {
+		*x = i
+	})
+}
+
+// BlockOwner: task b owns the block [b*bs, (b+1)*bs).
+func BlockOwner(w *core.Worker, out []int, nb, bs int) {
+	core.ForRange(w, 0, nb, 0, func(b int) {
+		lo, hi := b*bs, (b+1)*bs
+		for i := lo; i < hi; i++ {
+			out[i] = i
+		}
+	})
+}
+
+// ResidueClass: task d owns the nb-slot segment starting at d*nb.
+func ResidueClass(w *core.Worker, counts []int32, nd, nb int) {
+	core.ForRange(w, 0, nd, 0, func(d int) {
+		for b := 0; b < nb; b++ {
+			counts[d*nb+b]++
+		}
+	})
+}
+
+// UniqueHandout: an atomic counter hands each write a fresh slot.
+func UniqueHandout(w *core.Worker, out []int32, n int) int32 {
+	var cnt atomic.Int32
+	core.ForRange(w, 0, n, 0, func(i int) {
+		if i%2 == 0 {
+			out[cnt.Add(1)-1] = int32(i)
+		}
+	})
+	return cnt.Load()
+}
+
+// WorkerOwned: each worker writes only its own slot of partial.
+func WorkerOwned(w *core.Worker, partial []int) {
+	w.For(0, len(partial), 1, func(w2 *core.Worker, lo, hi int) {
+		partial[w2.ID()] += hi - lo
+	})
+}
+
+// RangeOwner: a For body owns exactly its handed subrange.
+func RangeOwner(w *core.Worker, out []int) {
+	w.For(0, len(out), 1, func(w2 *core.Worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = i
+		}
+	})
+}
+
+// JoinBranches: each Join branch writes a variable the other never
+// touches.
+func JoinBranches(w *core.Worker, xs []int) (int, int) {
+	var a, b int
+	mid := len(xs) / 2
+	w.Join(
+		func(w *core.Worker) { a = sum(xs[:mid]) },
+		func(w *core.Worker) { b = sum(xs[mid:]) },
+	)
+	return a, b
+}
+
+// JoinHandout: the divide-and-conquer handout — each branch passes a
+// callee a disjoint half of the same backing slice.
+func JoinHandout(w *core.Worker, xs []int) {
+	mid := len(xs) / 2
+	w.Join(
+		func(w *core.Worker) { fill(xs[:mid], 1) },
+		func(w *core.Worker) { fill(xs[mid:], 2) },
+	)
+}
+
+// CallsClean: a callee whose writes stay within memory it allocates is
+// invisible to the region; the result lands in a task-affine slot.
+func CallsClean(w *core.Worker, res [][]int, n int) {
+	core.ForRange(w, 0, n, 0, func(i int) {
+		res[i] = derive(i)
+	})
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func fill(xs []int, v int) {
+	for i := range xs {
+		xs[i] = v
+	}
+}
+
+func derive(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

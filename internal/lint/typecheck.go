@@ -28,22 +28,29 @@ type typedPkg struct {
 	errs []error // collected type errors (informational)
 }
 
-// typeLoader memoizes type checking across packages of one analysis.
+// typeLoader memoizes type checking across packages of one analysis,
+// and the interprocedural function summaries built on top of it
+// (summary.go).
 type typeLoader struct {
 	a        *analysis
 	std      types.Importer
 	checked  map[string]*typedPkg
 	inflight map[string]bool
 	stubs    map[string]*types.Package
+
+	sums        map[sumKey]*fnSummary
+	sumInflight map[sumKey]bool
 }
 
 func newTypeLoader(a *analysis) *typeLoader {
 	return &typeLoader{
-		a:        a,
-		std:      importer.ForCompiler(a.fset, "source", nil),
-		checked:  map[string]*typedPkg{},
-		inflight: map[string]bool{},
-		stubs:    map[string]*types.Package{},
+		a:           a,
+		std:         importer.ForCompiler(a.fset, "source", nil),
+		checked:     map[string]*typedPkg{},
+		inflight:    map[string]bool{},
+		stubs:       map[string]*types.Package{},
+		sums:        map[sumKey]*fnSummary{},
+		sumInflight: map[sumKey]bool{},
 	}
 }
 
