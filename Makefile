@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test lint certify certify-update races races-update race bench bench-sched bench-mem bench-mem-gate bench-graph bench-graph-gate report figures inputs clean
+.PHONY: build test lint certify certify-update races races-update race bench bench-sched bench-mem bench-mem-gate bench-graph bench-graph-gate bench-graph-xl bench-graph-xl-gate report figures inputs clean
 
 build:
 	$(GO) build ./...
@@ -80,6 +80,21 @@ bench-graph:
 bench-graph-gate:
 	$(GO) test -run xxx -bench '$(GRAPH_BENCH)' -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson -out BENCH_graph.gate.json -gate BENCH_graph.json
 	rm -f BENCH_graph.gate.json
+
+# Beyond-LLC graph benchmarks (bench_graph_xl_test.go): the same BFS /
+# SSSP kernels at ScaleLarge over plain and compressed CSR, reporting
+# bytes/edge and MTEPS into BENCH_graph_xl.json — the compressed-CSR
+# acceptance data (docs/GRAPH.md "Compressed CSR"). Building the inputs
+# takes minutes, hence the long timeout; CI runs the gate variant at
+# BENCHTIME=1x as a smoke test. -baseline-add lets a first-appearance
+# benchmark enter the committed baseline instead of failing the gate.
+XLGRAPH_BENCH = BenchmarkXLGraph
+bench-graph-xl:
+	$(GO) test -run xxx -bench '$(XLGRAPH_BENCH)' -benchmem -benchtime $(BENCHTIME) -timeout 90m . | $(GO) run ./cmd/benchjson -out BENCH_graph_xl.json
+
+bench-graph-xl-gate:
+	$(GO) test -run xxx -bench '$(XLGRAPH_BENCH)' -benchmem -benchtime $(BENCHTIME) -timeout 90m . | $(GO) run ./cmd/benchjson -out BENCH_graph_xl.gate.json -gate BENCH_graph_xl.json -baseline-add
+	rm -f BENCH_graph_xl.gate.json
 
 # Regenerate every table and figure at small scale.
 report:

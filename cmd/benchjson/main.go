@@ -17,6 +17,13 @@
 // every real "this hot path allocates again" regression) or when a
 // baseline benchmark is missing from the run. This is the
 // alloc-regression gate behind `make bench-mem-gate` (docs/MEMORY.md).
+//
+// -baseline-add (only with -gate) gives first-appearance benchmarks a
+// clean landing: benchmarks present in the run but absent from the
+// baseline are appended to the baseline file (and a missing baseline
+// file is created from the run outright) instead of being silently
+// untracked, so a new benchmark tier needs no manual baseline dance —
+// the next gate run tracks it.
 package main
 
 import (
@@ -57,15 +64,41 @@ func gateTolerance(old, new float64) bool {
 }
 
 // runGate compares the run's allocs/op against the baseline file and
-// returns the list of violations.
-func runGate(baselinePath string, results map[string]map[string]float64) ([]string, error) {
+// returns the list of violations. With baselineAdd, benchmarks the
+// baseline does not know yet are appended to it (a missing baseline
+// file counts as knowing none), so a first-appearance benchmark passes
+// the gate and is tracked from then on.
+func runGate(baselinePath string, results map[string]map[string]float64, baselineAdd bool) ([]string, error) {
+	baseline := map[string]map[string]float64{}
 	data, err := os.ReadFile(baselinePath)
-	if err != nil {
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &baseline); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", baselinePath, err)
+		}
+	case os.IsNotExist(err) && baselineAdd:
+		// First run ever: the whole result set is first-appearance.
+	default:
 		return nil, err
 	}
-	baseline := map[string]map[string]float64{}
-	if err := json.Unmarshal(data, &baseline); err != nil {
-		return nil, fmt.Errorf("parse %s: %w", baselinePath, err)
+	if baselineAdd {
+		added := 0
+		for name, m := range results {
+			if _, known := baseline[name]; !known {
+				baseline[name] = m
+				added++
+			}
+		}
+		if added > 0 {
+			out, err := json.MarshalIndent(baseline, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(baselinePath, append(out, '\n'), 0o644); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: gate: added %d first-appearance benchmark(s) to %s\n", added, baselinePath)
+		}
 	}
 	var bad []string
 	for name, oldM := range baseline {
@@ -90,6 +123,7 @@ func runGate(baselinePath string, results map[string]map[string]float64) ([]stri
 func main() {
 	out := flag.String("out", "BENCH_sched.json", "output JSON path")
 	gate := flag.String("gate", "", "baseline JSON to diff allocs/op against; regressions past old*1.30+2 fail")
+	baselineAdd := flag.Bool("baseline-add", false, "with -gate: append first-appearance benchmarks to the baseline instead of leaving them untracked")
 	flag.Parse()
 
 	results := map[string]map[string]float64{}
@@ -147,7 +181,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
 
 	if *gate != "" {
-		bad, err := runGate(*gate, results)
+		bad, err := runGate(*gate, results, *baselineAdd)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: gate: %v\n", err)
 			os.Exit(1)

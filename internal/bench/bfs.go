@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mq"
@@ -21,10 +22,18 @@ import (
 // long-running workers pop (level, vertex) tasks in relaxed priority
 // order, relax neighbors, and push improvements — the dynamism adds no
 // fear beyond what the AW accesses already impose.
+//
+// The instance is generic over graph.Adjacency, so the same traversal
+// runs against the plain CSR (*graph.Graph) and the compressed CSR
+// (*graph.CGraph, docs/GRAPH.md "Compressed CSR"). Compressed rows are
+// decoded in-loop into per-worker arena scratch — no materialized
+// neighbor slices — and the bottom-up probe goes through FindFirstIn,
+// which a compressed representation serves with an incremental decode
+// that stops at the first frontier hit.
 
-type bfsInstance struct {
-	g    *graph.Graph
-	tg   *graph.Graph // transpose: in-edges scanned by bottom-up steps
+type bfsInstance[A graph.Adjacency] struct {
+	g    A
+	tg   A // transpose: in-edges scanned by bottom-up steps
 	src  int32
 	dist []uint32 // atomic access during runs
 	want []uint32
@@ -35,6 +44,12 @@ type bfsInstance struct {
 	// state): two sparse vertex lists and two packed bitmaps.
 	fa, fb        []int32
 	curBM, nextBM []uint64
+
+	// Decode scratch: row holds one MaxDegree row for the sequential
+	// paths; dscratch grows one row per MultiQueue worker on demand.
+	maxDeg   int
+	row      []int32
+	dscratch [][]int32
 
 	// Direction-switch thresholds (Beamer's alpha/beta). Injectable so
 	// tests can force either direction; newBFS sets the defaults.
@@ -60,16 +75,20 @@ const (
 // inputs (road) nearly every level is this thin.
 const bfsSerialCutoff = 4096
 
-func newBFS(g, tg *graph.Graph, src int32) *bfsInstance {
-	words := (int(g.N) + 63) / 64
-	b := &bfsInstance{
+func newBFS[A graph.Adjacency](g, tg A, src int32) *bfsInstance[A] {
+	n := g.NumVertices()
+	words := (int(n) + 63) / 64
+	maxDeg := int(g.MaxDegree())
+	b := &bfsInstance[A]{
 		g: g, tg: tg, src: src,
-		dist:   make([]uint32, g.N),
-		parent: make([]int32, g.N),
-		fa:     make([]int32, g.N),
-		fb:     make([]int32, g.N),
+		dist:   make([]uint32, n),
+		parent: make([]int32, n),
+		fa:     make([]int32, n),
+		fb:     make([]int32, n),
 		curBM:  make([]uint64, words),
 		nextBM: make([]uint64, words),
+		maxDeg: maxDeg,
+		row:    make([]int32, maxDeg),
 		alpha:  bfsAlpha,
 		beta:   bfsBeta,
 	}
@@ -77,11 +96,20 @@ func newBFS(g, tg *graph.Graph, src int32) *bfsInstance {
 	return b
 }
 
-func (b *bfsInstance) reset() {
+func (b *bfsInstance[A]) reset() {
 	for i := range b.dist {
 		b.dist[i] = distInf
 		b.parent[i] = -1
 	}
+}
+
+// scratchFor returns per-worker decode rows for nWorkers MultiQueue
+// workers, growing the persistent table on first use.
+func (b *bfsInstance[A]) scratchFor(nWorkers int) [][]int32 {
+	for len(b.dscratch) < nWorkers {
+		b.dscratch = append(b.dscratch, make([]int32, b.maxDeg))
+	}
+	return b.dscratch[:nWorkers]
 }
 
 // bfsCnt carries a bottom-up step's (vertices, frontier edges) totals
@@ -89,8 +117,8 @@ func (b *bfsInstance) reset() {
 type bfsCnt struct{ verts, edges int64 }
 
 // runHybrid is the direction-optimizing library expression.
-func (b *bfsInstance) runHybrid(w *core.Worker) {
-	n := int(b.g.N)
+func (b *bfsInstance[A]) runHybrid(w *core.Worker) {
+	n := int(b.g.NumVertices())
 	b.dist[b.src] = 0
 	b.parent[b.src] = b.src
 	b.fa[0] = b.src
@@ -99,7 +127,7 @@ func (b *bfsInstance) runHybrid(w *core.Worker) {
 	level := uint32(0)
 	frontierVerts := int64(1)
 	frontierEdges := int64(b.g.Degree(b.src))
-	remEdges := int64(b.g.M())
+	remEdges := b.g.NumEdges()
 	bottomUp := false
 
 	for frontierVerts > 0 {
@@ -140,7 +168,7 @@ func (b *bfsInstance) runHybrid(w *core.Worker) {
 			nxt := spare[:0]
 			var edges int64
 			for _, v := range cur {
-				for _, u := range b.g.Neighbors(v) {
+				for _, u := range b.g.RowInto(v, b.row) {
 					if b.dist[u] == distInf {
 						b.dist[u] = nd
 						b.parent[u] = v
@@ -156,19 +184,33 @@ func (b *bfsInstance) runHybrid(w *core.Worker) {
 			var nextCnt atomic.Int32
 			var nextEdges atomic.Int64
 			fr, nxt := cur, spare
-			core.ForRange(w, 0, len(fr), 0, func(i int) {
-				v := fr[i]
-				for _, u := range b.g.Neighbors(v) {
-					if core.WriteMinU32(&b.dist[u], nd) {
-						// Level-synchronous: exactly one claimer wins each
-						// vertex, so the parent write has a single writer.
-						b.parent[u] = v
-						//lint:scared frontier append: the atomic fetch-add hands each winner a unique slot
-						nxt[nextCnt.Add(1)-1] = u
-						nextEdges.Add(int64(b.g.Degree(u)))
+			// Each chunk decodes rows into its worker's arena scratch —
+			// Mark/Release bracketed, so repeated levels reuse the same
+			// slab and the steady state stays allocation-free.
+			expand := func(ww *core.Worker, lo, hi int) {
+				a := arena.Of(ww)
+				am := a.Mark()
+				buf := arena.AllocUninit[int32](a, b.maxDeg)
+				for i := lo; i < hi; i++ {
+					v := fr[i]
+					for _, u := range b.g.RowInto(v, buf) {
+						if core.WriteMinU32(&b.dist[u], nd) {
+							// Level-synchronous: exactly one claimer wins each
+							// vertex, so the parent write has a single writer.
+							b.parent[u] = v
+							//lint:scared frontier append: the atomic fetch-add hands each winner a unique slot
+							nxt[nextCnt.Add(1)-1] = u
+							nextEdges.Add(int64(b.g.Degree(u)))
+						}
 					}
 				}
-			})
+				a.Release(am)
+			}
+			if w == nil {
+				expand(nil, 0, len(fr))
+			} else {
+				w.For(0, len(fr), 0, expand)
+			}
 			spare = cur[:cap(cur)]
 			cur = nxt[:nextCnt.Load()]
 			frontierVerts, frontierEdges = int64(len(cur)), nextEdges.Load()
@@ -181,10 +223,13 @@ func (b *bfsInstance) runHybrid(w *core.Worker) {
 // for any in-neighbor in the current bitmap frontier. Each parallel
 // task owns one 64-vertex bitmap word, so its writes to dist, parent,
 // and nextBM are word-disjoint plain stores; the previous level's
-// bitmap is read-only during the step.
-func (b *bfsInstance) bottomUpStep(w *core.Worker, nd uint32) bfsCnt {
+// bitmap is read-only during the step. The probe is the
+// representation's FindFirstIn: a compressed transpose decodes each row
+// incrementally and stops at the first hit, so a dense frontier reads
+// only the head of most rows.
+func (b *bfsInstance[A]) bottomUpStep(w *core.Worker, nd uint32) bfsCnt {
 	words := len(b.curBM)
-	n := int32(b.g.N)
+	n := int32(b.g.NumVertices())
 	return core.MapReduce(w, words, bfsCnt{}, func(wi int) bfsCnt {
 		var cnt bfsCnt
 		var nextW uint64
@@ -197,15 +242,12 @@ func (b *bfsInstance) bottomUpStep(w *core.Worker, nd uint32) bfsCnt {
 			if b.dist[v] != distInf {
 				continue
 			}
-			for _, u := range b.tg.Neighbors(v) {
-				if core.TestBit(b.curBM, u) {
-					b.dist[v] = nd
-					b.parent[v] = u
-					nextW |= 1 << uint32(v-base)
-					cnt.verts++
-					cnt.edges += int64(b.g.Degree(v))
-					break
-				}
+			if u := b.tg.FindFirstIn(v, b.curBM); u >= 0 {
+				b.dist[v] = nd
+				b.parent[v] = u
+				nextW |= 1 << uint32(v-base)
+				cnt.verts++
+				cnt.edges += int64(b.g.Degree(v))
 			}
 		}
 		b.nextBM[wi] = nextW
@@ -216,18 +258,21 @@ func (b *bfsInstance) bottomUpStep(w *core.Worker, nd uint32) bfsCnt {
 }
 
 // run is the MultiQueue expression (direct mode): one vertex per queue
-// operation, kept as the paper's Sec 6 baseline.
-func (b *bfsInstance) run(nWorkers int) {
+// operation, kept as the paper's Sec 6 baseline. Each worker decodes
+// into its own persistent scratch row, indexed by the handler's worker
+// id.
+func (b *bfsInstance[A]) run(nWorkers int) {
+	scratch := b.scratchFor(nWorkers)
 	atomic.StoreUint32(&b.dist[b.src], 0)
 	seeds := []mq.Item{{Pri: 0, Val: uint64(b.src)}}
-	b.mqStats = mq.ProcessOpt(nWorkers, seeds, mq.Options{}, func(_ int, it mq.Item, push mq.Pusher) {
+	b.mqStats = mq.ProcessOpt(nWorkers, seeds, mq.Options{}, func(wi int, it mq.Item, push mq.Pusher) {
 		v := int32(it.Val)
 		d := uint32(it.Pri)
 		if atomic.LoadUint32(&b.dist[v]) < d {
 			return // stale task
 		}
 		nd := d + 1
-		for _, u := range b.g.Neighbors(v) {
+		for _, u := range b.g.RowInto(v, scratch[wi]) {
 			if core.WriteMinU32(&b.dist[u], nd) {
 				push.Push(mq.Item{Pri: uint64(nd), Val: uint64(u)})
 			}
@@ -235,11 +280,11 @@ func (b *bfsInstance) run(nWorkers int) {
 	})
 }
 
-func (b *bfsInstance) runLibrary(w *core.Worker) { b.runHybrid(w) }
+func (b *bfsInstance[A]) runLibrary(w *core.Worker) { b.runHybrid(w) }
 
-func (b *bfsInstance) runDirect(nThreads int) { b.run(nThreads) }
+func (b *bfsInstance[A]) runDirect(nThreads int) { b.run(nThreads) }
 
-func (b *bfsInstance) verify() error {
+func (b *bfsInstance[A]) verify() error {
 	for v := range b.dist {
 		if b.dist[v] != b.want[v] {
 			return fmt.Errorf("bfs: dist[%d] = %d, want %d", v, b.dist[v], b.want[v])
@@ -251,8 +296,9 @@ func (b *bfsInstance) verify() error {
 // verifyParents checks BFS-tree validity after a library (hybrid) run:
 // every reached non-source vertex has a parent one level closer along a
 // real edge, and unreached vertices have none.
-func (b *bfsInstance) verifyParents() error {
-	for v := int32(0); v < b.g.N; v++ {
+func (b *bfsInstance[A]) verifyParents() error {
+	n := b.g.NumVertices()
+	for v := int32(0); v < n; v++ {
 		p := b.parent[v]
 		if b.dist[v] == distInf {
 			if p != -1 {
@@ -266,7 +312,7 @@ func (b *bfsInstance) verifyParents() error {
 			}
 			continue
 		}
-		if p < 0 || p >= b.g.N {
+		if p < 0 || p >= n {
 			return fmt.Errorf("bfs: reached %d has no parent", v)
 		}
 		if b.dist[p]+1 != b.dist[v] {
@@ -274,7 +320,7 @@ func (b *bfsInstance) verifyParents() error {
 				p, v, b.dist[p], b.dist[v])
 		}
 		found := false
-		for _, u := range b.g.Neighbors(p) {
+		for _, u := range b.g.RowInto(p, b.row) {
 			if u == v {
 				found = true
 				break
@@ -288,17 +334,19 @@ func (b *bfsInstance) verifyParents() error {
 }
 
 // bfsOracle computes exact BFS levels sequentially.
-func bfsOracle(g *graph.Graph, src int32) []uint32 {
-	dist := make([]uint32, g.N)
+func bfsOracle[A graph.Adjacency](g A, src int32) []uint32 {
+	n := g.NumVertices()
+	dist := make([]uint32, n)
 	for i := range dist {
 		dist[i] = distInf
 	}
+	buf := make([]int32, g.MaxDegree())
 	dist[src] = 0
 	frontier := []int32{src}
 	for len(frontier) > 0 {
 		var next []int32
 		for _, v := range frontier {
-			for _, u := range g.Neighbors(v) {
+			for _, u := range g.RowInto(v, buf) {
 				if dist[u] == distInf {
 					dist[u] = dist[v] + 1
 					next = append(next, u)

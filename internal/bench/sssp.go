@@ -21,49 +21,72 @@ import (
 // relaxed queue cost wasted work, never wrong answers: stale tasks are
 // dropped against the distance array, and the distance array — not the
 // queue order — defines the result.
+//
+// The instance is generic over graph.WAdjacency: the plain *graph.WGraph
+// relaxation reads its interior row slices, while the compressed
+// *graph.CWGraph decodes each popped vertex's row into the worker's
+// persistent scratch (indexed by the MultiQueue worker id) and reads
+// the uncompressed weight slice alongside.
 
-type ssspInstance struct {
-	g          *graph.WGraph
+type ssspInstance[A graph.WAdjacency] struct {
+	g          A
 	src        int32
 	deltaShift uint32   // log2 of the delta-stepping bucket width
 	dist       []uint32 // atomic access during runs
 	qb         []uint32 // bucket each vertex is queued at (distInf: not queued)
 	want       []uint32
 
+	maxDeg   int
+	dscratch [][]int32 // per-MultiQueue-worker decode rows
+
 	mqStats mq.Stats // counters from the last run (either mode)
 }
 
-func newSSSP(g *graph.WGraph, src int32) *ssspInstance {
-	s := &ssspInstance{
+func newSSSP[A graph.WAdjacency](g A, src int32) *ssspInstance[A] {
+	n := g.NumVertices()
+	s := &ssspInstance[A]{
 		g:          g,
 		src:        src,
 		deltaShift: deltaFor(g),
-		dist:       make([]uint32, g.N),
-		qb:         make([]uint32, g.N),
+		dist:       make([]uint32, n),
+		qb:         make([]uint32, n),
+		maxDeg:     int(g.MaxDegree()),
 	}
 	s.reset()
 	return s
 }
 
-func (s *ssspInstance) reset() {
+func (s *ssspInstance[A]) reset() {
 	for i := range s.dist {
 		s.dist[i] = distInf
 		s.qb[i] = distInf
 	}
 }
 
+func (s *ssspInstance[A]) scratchFor(nWorkers int) [][]int32 {
+	for len(s.dscratch) < nWorkers {
+		s.dscratch = append(s.dscratch, make([]int32, s.maxDeg))
+	}
+	return s.dscratch[:nWorkers]
+}
+
 // deltaFor picks the bucket width: maxW/avgDeg (the classic heuristic —
 // one bucket's worth of relaxations roughly matches one vertex's edge
 // fan-out) rounded down to a power of two, so the per-relaxation bucket
 // computation is a shift instead of a division. Returns the shift.
-func deltaFor(g *graph.WGraph) uint32 {
+func deltaFor[A graph.WAdjacency](g A) uint32 {
 	var maxW uint32 = 1
-	for _, w := range g.Wgt {
-		if w > maxW {
-			maxW = w
+	n := g.NumVertices()
+	buf := make([]int32, g.MaxDegree())
+	for v := int32(0); v < n; v++ {
+		_, wgt := g.WRow(v, buf)
+		for _, w := range wgt {
+			if w > maxW {
+				maxW = w
+			}
 		}
 	}
-	avgDeg := int64(g.M()) / int64(g.N)
+	avgDeg := g.NumEdges() / int64(n)
 	if avgDeg < 1 {
 		avgDeg = 1
 	}
@@ -78,11 +101,12 @@ func deltaFor(g *graph.WGraph) uint32 {
 
 // runDelta is the delta-stepping library expression over the batched
 // queue.
-func (s *ssspInstance) runDelta(nWorkers int) {
+func (s *ssspInstance[A]) runDelta(nWorkers int) {
+	scratch := s.scratchFor(nWorkers)
 	atomic.StoreUint32(&s.dist[s.src], 0)
 	shift := s.deltaShift
 	seeds := []mq.Item{{Pri: 0, Val: uint64(s.src)}}
-	s.mqStats = mq.ProcessBatch(nWorkers, seeds, mq.Options{}, func(_ int, it mq.Item, push mq.Pusher) {
+	s.mqStats = mq.ProcessBatch(nWorkers, seeds, mq.Options{}, func(wi int, it mq.Item, push mq.Pusher) {
 		v := int32(it.Val)
 		// Leave the bucket BEFORE reading the distance: Go atomics are
 		// sequentially consistent, so a relaxer that observed our old
@@ -94,7 +118,7 @@ func (s *ssspInstance) runDelta(nWorkers int) {
 		if uint64(d>>shift) < it.Pri {
 			return // superseded: v moved to an earlier bucket
 		}
-		adj, wgt := s.g.WNeighbors(v)
+		adj, wgt := s.g.WRow(v, scratch[wi])
 		for i, u := range adj {
 			nd := d + wgt[i]
 			if core.WriteMinU32(&s.dist[u], nd) {
@@ -113,16 +137,17 @@ func (s *ssspInstance) runDelta(nWorkers int) {
 
 // run is the relaxed-Dijkstra direct expression: exact distances as
 // priorities, one vertex per queue operation.
-func (s *ssspInstance) run(nWorkers int) {
+func (s *ssspInstance[A]) run(nWorkers int) {
+	scratch := s.scratchFor(nWorkers)
 	atomic.StoreUint32(&s.dist[s.src], 0)
 	seeds := []mq.Item{{Pri: 0, Val: uint64(s.src)}}
-	s.mqStats = mq.ProcessOpt(nWorkers, seeds, mq.Options{}, func(_ int, it mq.Item, push mq.Pusher) {
+	s.mqStats = mq.ProcessOpt(nWorkers, seeds, mq.Options{}, func(wi int, it mq.Item, push mq.Pusher) {
 		v := int32(it.Val)
 		d := uint32(it.Pri)
 		if atomic.LoadUint32(&s.dist[v]) < d {
 			return // superseded by a shorter path
 		}
-		adj, wgt := s.g.WNeighbors(v)
+		adj, wgt := s.g.WRow(v, scratch[wi])
 		for i, u := range adj {
 			nd := d + wgt[i]
 			if core.WriteMinU32(&s.dist[u], nd) {
@@ -132,7 +157,7 @@ func (s *ssspInstance) run(nWorkers int) {
 	})
 }
 
-func (s *ssspInstance) runLibrary(w *core.Worker) {
+func (s *ssspInstance[A]) runLibrary(w *core.Worker) {
 	n := 1
 	if w != nil {
 		n = w.Pool().Workers()
@@ -140,9 +165,9 @@ func (s *ssspInstance) runLibrary(w *core.Worker) {
 	s.runDelta(n)
 }
 
-func (s *ssspInstance) runDirect(nThreads int) { s.run(nThreads) }
+func (s *ssspInstance[A]) runDirect(nThreads int) { s.run(nThreads) }
 
-func (s *ssspInstance) verify() error {
+func (s *ssspInstance[A]) verify() error {
 	for v := range s.dist {
 		if s.dist[v] != s.want[v] {
 			return fmt.Errorf("sssp: dist[%d] = %d, want %d", v, s.dist[v], s.want[v])
@@ -153,11 +178,13 @@ func (s *ssspInstance) verify() error {
 
 // dijkstraOracle computes exact distances with a sequential binary-heap
 // Dijkstra.
-func dijkstraOracle(g *graph.WGraph, src int32) []uint32 {
-	dist := make([]uint32, g.N)
+func dijkstraOracle[A graph.WAdjacency](g A, src int32) []uint32 {
+	n := g.NumVertices()
+	dist := make([]uint32, n)
 	for i := range dist {
 		dist[i] = distInf
 	}
+	buf := make([]int32, g.MaxDegree())
 	dist[src] = 0
 	type hi struct {
 		d uint32
@@ -204,7 +231,7 @@ func dijkstraOracle(g *graph.WGraph, src int32) []uint32 {
 		if top.d > dist[top.v] {
 			continue
 		}
-		adj, wgt := g.WNeighbors(top.v)
+		adj, wgt := g.WRow(top.v, buf)
 		for i, u := range adj {
 			nd := top.d + wgt[i]
 			if nd < dist[u] {

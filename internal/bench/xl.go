@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Exported handles on the generic BFS/SSSP instances for callers
+// outside this package: the bench-graph-xl tier (bench_graph_xl_test.go
+// at the repo root) runs the same kernels the registered "bfs"/"sssp"
+// benchmarks use, but instantiated over both plain and compressed CSR
+// at ScaleLarge, and rpbreport derives bytes/edge and MTEPS from them.
+
+// BFSKernel is a hybrid direction-optimizing BFS over any adjacency
+// representation (g and its transpose tg).
+type BFSKernel[A graph.Adjacency] struct{ b *bfsInstance[A] }
+
+// NewBFSKernel builds a reusable BFS instance rooted at src.
+func NewBFSKernel[A graph.Adjacency](g, tg A, src int32) *BFSKernel[A] {
+	return &BFSKernel[A]{b: newBFS(g, tg, src)}
+}
+
+// Reset clears distances and parents for the next run.
+func (k *BFSKernel[A]) Reset() { k.b.reset() }
+
+// Run executes one hybrid traversal on w's pool (sequential if w is
+// nil).
+func (k *BFSKernel[A]) Run(w *core.Worker) { k.b.runHybrid(w) }
+
+// SetWant installs the oracle distances Verify checks against.
+func (k *BFSKernel[A]) SetWant(want []uint32) { k.b.want = want }
+
+// Verify checks distances against the oracle and the parent tree for
+// validity.
+func (k *BFSKernel[A]) Verify() error {
+	if err := k.b.verify(); err != nil {
+		return err
+	}
+	return k.b.verifyParents()
+}
+
+// BFSOracle computes exact BFS levels sequentially.
+func BFSOracle[A graph.Adjacency](g A, src int32) []uint32 { return bfsOracle(g, src) }
+
+// SSSPKernel is a delta-stepping SSSP over any weighted adjacency.
+type SSSPKernel[A graph.WAdjacency] struct{ s *ssspInstance[A] }
+
+// NewSSSPKernel builds a reusable SSSP instance rooted at src.
+func NewSSSPKernel[A graph.WAdjacency](g A, src int32) *SSSPKernel[A] {
+	return &SSSPKernel[A]{s: newSSSP(g, src)}
+}
+
+// Reset clears distances and queue markers for the next run.
+func (k *SSSPKernel[A]) Reset() { k.s.reset() }
+
+// Run executes one delta-stepping run at the given worker count.
+func (k *SSSPKernel[A]) Run(threads int) { k.s.runDelta(threads) }
+
+// SetWant installs the oracle distances Verify checks against.
+func (k *SSSPKernel[A]) SetWant(want []uint32) { k.s.want = want }
+
+// Verify checks distances against the oracle.
+func (k *SSSPKernel[A]) Verify() error { return k.s.verify() }
+
+// Dist exposes the distance array of the last run (callers must not
+// mutate it) — the reference another representation's run verifies
+// against when a sequential oracle is too slow at scale.
+func (k *SSSPKernel[A]) Dist() []uint32 { return k.s.dist }
+
+// DijkstraOracle computes exact shortest-path distances sequentially.
+func DijkstraOracle[A graph.WAdjacency](g A, src int32) []uint32 { return dijkstraOracle(g, src) }

@@ -1,6 +1,9 @@
 package graph
 
 import (
+	"fmt"
+	"math"
+	"slices"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -23,6 +26,44 @@ type Builder struct {
 	cur  []int32 // per-vertex fill cursor during the scatter
 	g    Graph
 	wg   WGraph
+	cg   CGraph  // compressed form (Compress / BuildC)
+	cwg  CWGraph // weighted compressed form (CompressW / BuildWC)
+}
+
+// edgeLimit bounds the edge count a Builder accepts: CSR offsets are
+// int32, so one more edge than MaxInt32 would overflow the scan.
+// Injectable (mirroring core's packIndexLimit) so the guard is testable
+// without allocating a 2^31-edge list.
+var edgeLimit = int64(math.MaxInt32)
+
+// validateEdges panics with a message naming the first edge whose
+// endpoint falls outside [0, n) — instead of an index-out-of-range
+// deep inside the counting-sort scatter — and enforces edgeLimit.
+func validateEdges(w *core.Worker, n int32, m int, endpoints func(i int) (int32, int32)) {
+	if int64(m) > edgeLimit {
+		panic(fmt.Sprintf("graph: edge list has %d edges, exceeding the int32 CSR offset limit %d; offsets would overflow", m, edgeLimit))
+	}
+	bad := core.MapReduce(w, m, -1, func(i int) int {
+		from, to := endpoints(i)
+		if uint32(from) >= uint32(n) || uint32(to) >= uint32(n) {
+			return i
+		}
+		return -1
+	}, func(a, b int) int {
+		switch {
+		case a < 0:
+			return b
+		case b < 0:
+			return a
+		case a < b:
+			return a
+		}
+		return b
+	})
+	if bad >= 0 {
+		from, to := endpoints(bad)
+		panic(fmt.Sprintf("graph: edge %d (%d -> %d) has an endpoint outside [0, %d)", bad, from, to, n))
+	}
 }
 
 // countAndScan runs the degree count over from-vertices and the offset
@@ -47,8 +88,10 @@ func (b *Builder) countAndScan(w *core.Worker, n int32, deg func(i int) int32, m
 
 // Build constructs a CSR graph from a directed edge list into the
 // Builder's reusable buffers. The returned *Graph aliases those buffers
-// and is valid until the next Build/BuildW on this Builder.
+// and is valid until the next Build/BuildW on this Builder. Endpoints
+// are validated up front; an out-of-range edge panics naming it.
 func (b *Builder) Build(w *core.Worker, n int32, edges []Edge) *Graph {
+	validateEdges(w, n, len(edges), func(i int) (int32, int32) { return edges[i].From, edges[i].To })
 	total := b.countAndScan(w, n, func(i int) int32 { return edges[i].From }, len(edges))
 	b.g.N = n
 	b.g.Adj = core.EnsureLen(b.g.Adj, int(total))
@@ -65,6 +108,7 @@ func (b *Builder) Build(w *core.Worker, n int32, edges []Edge) *Graph {
 // the Builder's reusable buffers. The returned *WGraph aliases those
 // buffers and is valid until the next Build/BuildW on this Builder.
 func (b *Builder) BuildW(w *core.Worker, n int32, edges []WEdge) *WGraph {
+	validateEdges(w, n, len(edges), func(i int) (int32, int32) { return edges[i].From, edges[i].To })
 	total := b.countAndScan(w, n, func(i int) int32 { return edges[i].From }, len(edges))
 	b.g.N = n
 	b.g.Adj = core.EnsureLen(b.g.Adj, int(total))
@@ -78,6 +122,77 @@ func (b *Builder) BuildW(w *core.Worker, n int32, edges []WEdge) *WGraph {
 	})
 	b.wg.Graph = b.g
 	return &b.wg
+}
+
+// BuildSorted is Build followed by SortAdjacency: the counting-sort
+// scatter's slot order depends on atomic-increment interleaving, so a
+// plain Build is deterministic only up to within-row permutation;
+// sorting every row canonicalizes the layout. Sorted rows are also the
+// precondition of the Compress encoder (gaps must be non-negative) and
+// of intersection-style kernels (triangle counting, ROADMAP).
+func (b *Builder) BuildSorted(w *core.Worker, n int32, edges []Edge) *Graph {
+	g := b.Build(w, n, edges)
+	SortAdjacency(w, g)
+	return g
+}
+
+// BuildWSorted is BuildW with every row sorted by neighbor id and the
+// weights permuted alongside.
+func (b *Builder) BuildWSorted(w *core.Worker, n int32, edges []WEdge) *WGraph {
+	wg := b.BuildW(w, n, edges)
+	SortAdjacencyW(w, wg)
+	return wg
+}
+
+// SortAdjacency sorts every neighbor row of g in place, ascending. Rows
+// are disjoint CSR segments, so the per-vertex tasks write disjoint
+// slices.
+func SortAdjacency(w *core.Worker, g *Graph) {
+	adj, offs := g.Adj, g.Offs
+	core.ForRange(w, 0, int(g.N), 0, func(v int) {
+		slices.Sort(adj[offs[v]:offs[v+1]]) //lint:scared per-row sort: row segments [offs[v], offs[v+1]) are disjoint per task v
+	})
+}
+
+// SortAdjacencyW sorts every neighbor row of wg by neighbor id with the
+// weight entries co-permuted, keeping Wgt[i] attached to Adj[i].
+func SortAdjacencyW(w *core.Worker, wg *WGraph) {
+	adj, wgt, offs := wg.Adj, wg.Wgt, wg.Offs
+	core.ForRange(w, 0, int(wg.N), 0, func(v int) {
+		sortRowW(adj[offs[v]:offs[v+1]], wgt[offs[v]:offs[v+1]]) //lint:scared per-row sort: row segments [offs[v], offs[v+1]) are disjoint per task v
+	})
+}
+
+// sortRowW co-sorts one (neighbor, weight) row by neighbor id: an
+// in-place heapsort, allocation-free and O(d log d) even on hub rows.
+func sortRowW(adj []int32, wgt []uint32) {
+	n := len(adj)
+	for root := n/2 - 1; root >= 0; root-- {
+		siftRowW(adj, wgt, root, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		adj[0], adj[end] = adj[end], adj[0]
+		wgt[0], wgt[end] = wgt[end], wgt[0]
+		siftRowW(adj, wgt, 0, end)
+	}
+}
+
+func siftRowW(adj []int32, wgt []uint32, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && adj[child+1] > adj[child] {
+			child++
+		}
+		if adj[root] >= adj[child] {
+			return
+		}
+		adj[root], adj[child] = adj[child], adj[root]
+		wgt[root], wgt[child] = wgt[child], wgt[root]
+		root = child
+	}
 }
 
 // Transpose builds the reverse graph of g (every edge u->v becomes

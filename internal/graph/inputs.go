@@ -15,6 +15,11 @@ const (
 	ScaleSmall
 	// ScaleDefault is the evaluation scale: millions of edges.
 	ScaleDefault
+	// ScaleLarge is the beyond-LLC tier (make bench-graph-xl): tens of
+	// millions of edges, sized so the plain CSR working set of one
+	// traversal direction exceeds last-level cache while the compressed
+	// form (docs/GRAPH.md "Compressed CSR") stays resident.
+	ScaleLarge
 )
 
 // Input names the three standard graph inputs of Table 2.
@@ -37,6 +42,8 @@ func edgesFor(w *core.Worker, name string, scale InputScale, seed uint64) ([]Edg
 			n, deg = 500, 8
 		case ScaleSmall:
 			n, deg = 20_000, 20
+		case ScaleLarge:
+			n, deg = 600_000, 40
 		default:
 			n, deg = 100_000, 20
 		}
@@ -48,6 +55,10 @@ func edgesFor(w *core.Worker, name string, scale InputScale, seed uint64) ([]Edg
 			sc, ef = 9, 6
 		case ScaleSmall:
 			sc, ef = 14, 6
+		case ScaleLarge:
+			// Dense: the average gap between sorted neighbors stays in
+			// varint one-to-two-byte range, the regime the codec targets.
+			sc, ef = 18, 128
 		default:
 			sc, ef = 17, 6
 		}
@@ -59,6 +70,8 @@ func edgesFor(w *core.Worker, name string, scale InputScale, seed uint64) ([]Edg
 			gw, gh = 30, 20
 		case ScaleSmall:
 			gw, gh = 160, 150
+		case ScaleLarge:
+			gw, gh = 3200, 3200
 		default:
 			gw, gh = 500, 400
 		}
@@ -83,6 +96,37 @@ func LoadUndirectedWeighted(w *core.Worker, name string, scale InputScale, seed 
 	sym := Symmetrize(w, edges)
 	wedges := AddWeights(w, sym, 1<<16, seed+1)
 	return BuildWCSR(w, n, wedges)
+}
+
+// LoadUndirectedSorted is LoadUndirected with every row sorted — the
+// canonical layout Compress starts from, used when comparing
+// representations at identical row order.
+func LoadUndirectedSorted(w *core.Worker, name string, scale InputScale, seed uint64) *Graph {
+	edges, n := edgesFor(w, name, scale, seed)
+	sym := Symmetrize(w, edges)
+	var b Builder
+	return b.BuildSorted(w, n, sym)
+}
+
+// LoadUndirectedC builds the compressed CSR form of a named input. The
+// returned CGraph owns its (Builder-backed) buffers for the caller's
+// lifetime.
+func LoadUndirectedC(w *core.Worker, name string, scale InputScale, seed uint64) *CGraph {
+	edges, n := edgesFor(w, name, scale, seed)
+	sym := Symmetrize(w, edges)
+	var b Builder
+	return b.BuildC(w, n, sym)
+}
+
+// LoadUndirectedWeightedC builds the compressed weighted form with the
+// same weights as LoadUndirectedWeighted (AddWeights keys on the edge,
+// not the row order, so the two loaders agree per edge).
+func LoadUndirectedWeightedC(w *core.Worker, name string, scale InputScale, seed uint64) *CWGraph {
+	edges, n := edgesFor(w, name, scale, seed)
+	sym := Symmetrize(w, edges)
+	wedges := AddWeights(w, sym, 1<<16, seed+1)
+	var b Builder
+	return b.BuildWC(w, n, wedges)
 }
 
 // UndirectedEdgeList returns the symmetrized edge list with each

@@ -38,8 +38,8 @@ func TestCertifyClean(t *testing.T) {
 	}
 	checkGolden(t, "certify-clean.golden", rep.String())
 
-	if rep.Certified != 5 || rep.Elidable != 1 || rep.Refused != 1 {
-		t.Errorf("counts = %d certified, %d elidable, %d refused; want 5/1/1",
+	if rep.Certified != 6 || rep.Elidable != 1 || rep.Refused != 1 {
+		t.Errorf("counts = %d certified, %d elidable, %d refused; want 6/1/1",
 			rep.Certified, rep.Elidable, rep.Refused)
 	}
 	sources := map[string]bool{}
@@ -75,6 +75,7 @@ func TestCertifyBad(t *testing.T) {
 		"stride 0",
 		"re-ordered (sorted) around the scan",
 		"aliased through a second slice header",
+		"non-negative",
 	} {
 		found := false
 		for _, s := range rep.Sites {

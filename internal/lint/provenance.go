@@ -650,6 +650,8 @@ func (p *prover) classifyCallUse(argNode ast.Expr, id *ast.Ident, from1 bool, ca
 				scanLHS: p.scanResultObj(call, path)}
 		case (name == "Sort" || name == "SortBy") && argIdx == 1 && !from1:
 			return &use{kind: usePermuteArg, callName: name}
+		case name == "CopyInto" && argIdx == 2:
+			return &use{kind: useRead} // CopyInto source: read-only by contract
 		}
 		if _, isTarget := certTargets[name]; isTarget && !from1 {
 			if argIdx == 2 {
@@ -1053,6 +1055,9 @@ func (p *prover) nnExpr(e ast.Expr) bool {
 	if v, ok := p.constVal(e); ok {
 		return constant.Sign(constant.ToInt(v)) >= 0
 	}
+	if isUnsignedInt(p.exprType(e)) {
+		return true // unsigned values cannot be negative
+	}
 	switch v := e.(type) {
 	case *ast.Ident:
 		obj := p.objOf(v)
@@ -1087,9 +1092,30 @@ func (p *prover) nnExpr(e ast.Expr) bool {
 				obj := p.objOf(id)
 				return obj != nil && p.nn[obj]
 			}
+			return false
+		}
+		// An in-module helper whose non-negativity summary proves
+		// every return value >= 0 regardless of its arguments
+		// (nnsummary.go) — the hook that lets a prefix sum over
+		// `sizes[i] = encRowSize(...)` stay monotone without inlining
+		// the size computation.
+		if p.loader != nil {
+			if fn := p.calleeFunc(v); fn != nil && p.loader.nnSummaryFor(fn) {
+				return true
+			}
 		}
 	}
 	return false
+}
+
+// isUnsignedInt reports a type whose every value is non-negative by
+// construction.
+func isUnsignedInt(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsUnsigned != 0
 }
 
 // ---------------------------------------------------------------------

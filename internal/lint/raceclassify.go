@@ -699,16 +699,22 @@ func (rc *regionCheck) classifyEffectCall(fn *types.Func, call *ast.CallExpr, bo
 	if !eff.paramPlain && !eff.paramAtomic {
 		return // callee confines its writes
 	}
-	// The callee writes through its parameters: every by-reference
-	// argument must hand it task-owned memory. Sites anchor at the
-	// argument, not the call, so one call can carry several verdicts.
+	// The callee writes through some of its parameters: the arguments
+	// at written positions must hand it task-owned memory; positions
+	// the summary proves read-only may carry shared data (the decoder
+	// reading a shared compressed row into a task-owned buffer). Sites
+	// anchor at the argument, not the call, so one call can carry
+	// several verdicts.
 	args := byRefArgs(rc.tp, call)
 	if boundRecv != nil {
 		if tv, ok := rc.tp.info.Types[boundRecv]; !ok || tv.Type == nil || !isWorkerNamed(tv.Type) {
-			args = append(args, effArg{expr: boundRecv})
+			args = append(args, effArg{expr: boundRecv, idx: recvIdx})
 		}
 	}
 	for _, arg := range args {
+		if !eff.writesThrough(arg.idx) {
+			continue // summarized read-only at this position
+		}
 		if rc.joinDisjointSlice(arg.expr) {
 			rc.site(RaceWorkerLocal, "join-disjoint-slices", arg.expr, types.ExprString(arg.expr))
 			continue
@@ -724,7 +730,7 @@ func (rc *regionCheck) classifyEffectCall(fn *types.Func, call *ast.CallExpr, bo
 		case memHanded, memLocal, memCheckout:
 			continue
 		}
-		if eff.paramAtomic && !eff.paramPlain {
+		if eff.writesAtomic(arg.idx) && !eff.writesPlain(arg.idx) {
 			rc.site(RaceAtomic, "via "+fn.Name(), arg.expr, types.ExprString(arg.expr))
 			continue
 		}

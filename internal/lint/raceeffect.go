@@ -29,11 +29,50 @@ import (
 	"go/types"
 )
 
-// writeEffect is one function's summarized write behavior.
+// writeEffect is one function's summarized write behavior. The
+// position sets record which parameters the writes actually reach
+// (receiver = recvIdx), so a caller handing task-owned memory at the
+// written positions can pass shared read-only data everywhere else —
+// the compressed-CSR encoder's shape, where encodeRow(v, row, dst)
+// writes dst but only reads the shared adjacency row. A raised flag
+// with an empty set means the walk saw a parameter-rooted write it
+// could not attribute to a position; every position then counts as
+// written, the pre-positional conservative answer.
 type writeEffect struct {
 	paramPlain  bool
 	paramAtomic bool
 	shared      string // first offending write, for the refusal message
+
+	plainIdx  map[int]bool
+	atomicIdx map[int]bool
+	plainAll  bool // an unattributed plain write: every position counts
+	atomicAll bool
+}
+
+// recvIdx is the pseudo-position of a method receiver in the written-
+// parameter sets.
+const recvIdx = -1
+
+// writesPlain reports whether the callee performs plain writes through
+// the parameter at position idx.
+func (e *writeEffect) writesPlain(idx int) bool {
+	if !e.paramPlain {
+		return false
+	}
+	return e.plainAll || len(e.plainIdx) == 0 || e.plainIdx[idx]
+}
+
+// writesAtomic is writesPlain for sync/atomic writes.
+func (e *writeEffect) writesAtomic(idx int) bool {
+	if !e.paramAtomic {
+		return false
+	}
+	return e.atomicAll || len(e.atomicIdx) == 0 || e.atomicIdx[idx]
+}
+
+// writesThrough reports whether position idx is written at all.
+func (e *writeEffect) writesThrough(idx int) bool {
+	return e.writesPlain(idx) || e.writesAtomic(idx)
 }
 
 // effDecl locates a function's declaration with its type context.
@@ -74,24 +113,30 @@ func (rp *racePass) computeEffect(fn *types.Func) *writeEffect {
 	w := &effWalk{
 		rp: rp, tp: d.tp, f: d.f, fd: d.fd,
 		eff:    &writeEffect{},
-		params: map[types.Object]bool{},
+		params: map[types.Object]int{},
 		defs:   map[types.Object]*effFact{},
 	}
 	if d.fd.Recv != nil {
 		for _, fld := range d.fd.Recv.List {
 			for _, nm := range fld.Names {
 				if obj := d.tp.info.Defs[nm]; obj != nil {
-					w.params[obj] = true
+					w.params[obj] = recvIdx
 				}
 			}
 		}
 	}
 	if d.fd.Type.Params != nil {
+		idx := 0
 		for _, fld := range d.fd.Type.Params.List {
+			if len(fld.Names) == 0 {
+				idx++ // unnamed parameter still occupies a position
+				continue
+			}
 			for _, nm := range fld.Names {
 				if obj := d.tp.info.Defs[nm]; obj != nil {
-					w.params[obj] = true
+					w.params[obj] = idx
 				}
+				idx++
 			}
 		}
 	}
@@ -164,7 +209,7 @@ type effWalk struct {
 	f         *fileInfo
 	fd        *ast.FuncDecl
 	eff       *writeEffect
-	params    map[types.Object]bool
+	params    map[types.Object]int // param object -> position (receiver = recvIdx)
 	defs      map[types.Object]*effFact
 	litLocal  map[types.Object]bool     // region-closure params: per-invocation values
 	litHanded map[types.Object]ast.Expr // region-closure handed params -> backing argument
@@ -334,23 +379,46 @@ func (w *effWalk) write(lhs ast.Expr) {
 	if !w.crosses(obj, steps) {
 		return // stays inside a callee-frame variable (array/struct value)
 	}
-	w.emit(w.rootOf(obj, 0), lhs, false)
+	ps := map[int]bool{}
+	w.emit(w.rootOf(obj, 0, ps), lhs, false, ps)
 }
 
-// emit folds one rooted write into the summary.
-func (w *effWalk) emit(kind effKind, at ast.Node, atomic bool) {
+// emit folds one rooted write into the summary. ps carries the
+// parameter positions the write's memory can be rooted at; empty with
+// kind effParam means attribution failed and every position is tainted.
+func (w *effWalk) emit(kind effKind, at ast.Node, atomic bool, ps map[int]bool) {
 	switch kind {
 	case effLocal:
 	case effParam:
 		if atomic {
 			w.eff.paramAtomic = true
+			if len(ps) == 0 {
+				w.eff.atomicAll = true
+			}
+			w.addIdx(&w.eff.atomicIdx, ps)
 		} else if w.held == 0 {
 			w.eff.paramPlain = true
+			if len(ps) == 0 {
+				w.eff.plainAll = true
+			}
+			w.addIdx(&w.eff.plainIdx, ps)
 		}
 	case effShared:
 		if !atomic && w.held == 0 {
 			w.sharedAt(at, "writes "+w.describe(at))
 		}
+	}
+}
+
+func (w *effWalk) addIdx(dst *map[int]bool, ps map[int]bool) {
+	if len(ps) == 0 {
+		return
+	}
+	if *dst == nil {
+		*dst = map[int]bool{}
+	}
+	for i := range ps {
+		(*dst)[i] = true
 	}
 }
 
@@ -396,19 +464,23 @@ func (w *effWalk) crosses(obj types.Object, steps []targetStep) bool {
 
 // rootOf resolves whose memory a variable's referent is: allocated
 // here, reachable from a parameter, or package-shared. A variable's
-// root is the worst root over everything it was ever bound to.
-func (w *effWalk) rootOf(obj types.Object, depth int) effKind {
+// root is the worst root over everything it was ever bound to; every
+// parameter that contributes a binding is recorded in ps.
+func (w *effWalk) rootOf(obj types.Object, depth int, ps map[int]bool) effKind {
 	if depth > 6 || obj == nil {
 		return effShared
 	}
-	if w.params[obj] {
+	if idx, isParam := w.params[obj]; isParam {
+		if ps != nil {
+			ps[idx] = true
+		}
 		return effParam
 	}
 	if w.litLocal[obj] {
 		return effLocal
 	}
 	if back, ok := w.litHanded[obj]; ok {
-		return w.aliasRoot(back, depth+1)
+		return w.aliasRoot(back, depth+1, ps)
 	}
 	v, isVar := obj.(*types.Var)
 	if !isVar {
@@ -433,7 +505,7 @@ func (w *effWalk) rootOf(obj types.Object, depth int) effKind {
 	w.inRoot[obj] = true
 	kind := effLocal // no bindings at all: the zero value
 	for _, src := range fx.srcs {
-		if k := w.aliasRoot(src, depth+1); k > kind {
+		if k := w.aliasRoot(src, depth+1, ps); k > kind {
 			kind = k
 		}
 	}
@@ -442,7 +514,7 @@ func (w *effWalk) rootOf(obj types.Object, depth int) effKind {
 }
 
 // aliasRoot resolves the root of the memory an expression evaluates to.
-func (w *effWalk) aliasRoot(e ast.Expr, depth int) effKind {
+func (w *effWalk) aliasRoot(e ast.Expr, depth int, ps map[int]bool) effKind {
 	if depth > 8 {
 		return effShared
 	}
@@ -451,18 +523,18 @@ func (w *effWalk) aliasRoot(e ast.Expr, depth int) effKind {
 		if v.Name == "nil" {
 			return effLocal
 		}
-		return w.rootOf(w.objOf(v), depth)
+		return w.rootOf(w.objOf(v), depth, ps)
 	case *ast.SelectorExpr:
-		return w.aliasRoot(v.X, depth+1)
+		return w.aliasRoot(v.X, depth+1, ps)
 	case *ast.IndexExpr:
-		return w.aliasRoot(v.X, depth+1)
+		return w.aliasRoot(v.X, depth+1, ps)
 	case *ast.StarExpr:
-		return w.aliasRoot(v.X, depth+1)
+		return w.aliasRoot(v.X, depth+1, ps)
 	case *ast.SliceExpr:
-		return w.aliasRoot(v.X, depth+1)
+		return w.aliasRoot(v.X, depth+1, ps)
 	case *ast.UnaryExpr:
 		if v.Op == token.AND {
-			return w.aliasRoot(v.X, depth+1)
+			return w.aliasRoot(v.X, depth+1, ps)
 		}
 	case *ast.CompositeLit, *ast.BasicLit, *ast.FuncLit:
 		return effLocal
@@ -472,11 +544,11 @@ func (w *effWalk) aliasRoot(e ast.Expr, depth int) effKind {
 			case id.Name == "make" || id.Name == "new":
 				return effLocal
 			case id.Name == "append" && len(v.Args) > 0:
-				return w.aliasRoot(v.Args[0], depth+1)
+				return w.aliasRoot(v.Args[0], depth+1, ps)
 			}
 		}
 		if tv, ok := w.tp.info.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
-			return w.aliasRoot(v.Args[0], depth+1)
+			return w.aliasRoot(v.Args[0], depth+1, ps)
 		}
 		// A call result is presumed derived from the call's reference
 		// inputs: the receiver and by-reference arguments.
@@ -487,13 +559,13 @@ func (w *effWalk) aliasRoot(e ast.Expr, depth int) effKind {
 				_, isQualifier = w.objOf(id).(*types.PkgName)
 			}
 			if !isQualifier {
-				if k := w.aliasRoot(sel.X, depth+1); k > kind {
+				if k := w.aliasRoot(sel.X, depth+1, ps); k > kind {
 					kind = k
 				}
 			}
 		}
 		for _, arg := range byRefArgs(w.tp, v) {
-			if k := w.aliasRoot(arg.expr, depth+1); k > kind {
+			if k := w.aliasRoot(arg.expr, depth+1, ps); k > kind {
 				kind = k
 			}
 		}
@@ -535,13 +607,15 @@ func (w *effWalk) call(call *ast.CallExpr) bool {
 	if pathStr, name, isPkg := callTarget(w.f, call); isPkg {
 		if isPath(pathStr, atomicPath) {
 			if atomicWritePrefix(name) && len(call.Args) > 0 {
-				w.emit(w.targetRoot(call.Args[0]), call, true)
+				ps := map[int]bool{}
+				w.emit(w.targetRoot(call.Args[0], ps), call, true, ps)
 			}
 			return true
 		}
 		if isPath(pathStr, corePath) && coreAtomicHelpers[name] {
 			if len(call.Args) > 0 {
-				w.emit(w.targetRoot(call.Args[0]), call, true)
+				ps := map[int]bool{}
+				w.emit(w.targetRoot(call.Args[0], ps), call, true, ps)
 			}
 			return true
 		}
@@ -549,7 +623,8 @@ func (w *effWalk) call(call *ast.CallExpr) bool {
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		if isAtomicRecv(w.tp, sel.X) {
 			if atomicWriteMethods[sel.Sel.Name] {
-				w.emit(w.targetRoot(sel.X), call, true)
+				ps := map[int]bool{}
+				w.emit(w.targetRoot(sel.X, ps), call, true, ps)
 			}
 			return true
 		}
@@ -561,12 +636,14 @@ func (w *effWalk) call(call *ast.CallExpr) bool {
 		switch id.Name {
 		case "copy":
 			if len(call.Args) == 2 {
-				w.emit(w.targetRoot(call.Args[0]), call, false)
+				ps := map[int]bool{}
+				w.emit(w.targetRoot(call.Args[0], ps), call, false, ps)
 			}
 			return false // still descend for the source expression
 		case "delete":
 			if len(call.Args) > 0 {
-				w.emit(w.targetRoot(call.Args[0]), call, false)
+				ps := map[int]bool{}
+				w.emit(w.targetRoot(call.Args[0], ps), call, false, ps)
 			}
 			return false
 		}
@@ -585,13 +662,15 @@ func (w *effWalk) call(call *ast.CallExpr) bool {
 	if _, inModule := w.rp.a.modRel(fn.Pkg().Path()); !inModule {
 		key := fn.Pkg().Name() + "." + fn.Name()
 		if stdlibMutators[key] && len(call.Args) > 0 {
-			w.emit(w.targetRoot(call.Args[0]), call, false)
+			ps := map[int]bool{}
+			w.emit(w.targetRoot(call.Args[0], ps), call, false, ps)
 		}
 		return false
 	}
 
 	// In-module sub-call: map the callee's summarized parameter writes
-	// through this call's by-reference arguments.
+	// through this call's arguments at the written positions only —
+	// read-only positions carry no write effect into this summary.
 	sub := w.rp.effectOf(fn)
 	if sub.shared != "" && w.held == 0 {
 		w.sharedAt(call, "calls "+fn.Name()+", which "+sub.shared)
@@ -600,16 +679,20 @@ func (w *effWalk) call(call *ast.CallExpr) bool {
 		refs := byRefArgs(w.tp, call)
 		if boundRecv != nil {
 			if tv, ok := w.tp.info.Types[boundRecv]; !ok || tv.Type == nil || !isWorkerNamed(tv.Type) {
-				refs = append(refs, effArg{expr: boundRecv})
+				refs = append(refs, effArg{expr: boundRecv, idx: recvIdx})
 			}
 		}
 		for _, arg := range refs {
-			root := w.targetRoot(arg.expr)
-			if sub.paramPlain {
-				w.emit(root, call, false)
+			if !sub.writesThrough(arg.idx) {
+				continue
 			}
-			if sub.paramAtomic {
-				w.emit(root, call, true)
+			ps := map[int]bool{}
+			root := w.targetRoot(arg.expr, ps)
+			if sub.writesPlain(arg.idx) {
+				w.emit(root, call, false, ps)
+			}
+			if sub.writesAtomic(arg.idx) {
+				w.emit(root, call, true, ps)
 			}
 		}
 	}
@@ -617,9 +700,9 @@ func (w *effWalk) call(call *ast.CallExpr) bool {
 }
 
 // targetRoot resolves an argument expression's memory root (through
-// &x wrappers).
-func (w *effWalk) targetRoot(e ast.Expr) effKind {
-	return w.aliasRoot(e, 0)
+// &x wrappers), recording contributing parameter positions in ps.
+func (w *effWalk) targetRoot(e ast.Expr, ps map[int]bool) effKind {
+	return w.aliasRoot(e, 0, ps)
 }
 
 // claimRegionLits registers the parameters of function literals handed
@@ -696,7 +779,7 @@ func (w *effWalk) boundCallee(fun ast.Expr) (*types.Func, ast.Expr) {
 		return nil, nil
 	}
 	obj := w.objOf(id)
-	if obj == nil || w.params[obj] {
+	if _, isParam := w.params[obj]; obj == nil || isParam {
 		return nil, nil
 	}
 	fx := w.defs[obj]
@@ -791,24 +874,32 @@ func calleeOfTyped(tp *typedPkg, call *ast.CallExpr) (fn *types.Func, delegated 
 // By-reference arguments
 // ---------------------------------------------------------------------
 
-type effArg struct{ expr ast.Expr }
+type effArg struct {
+	expr ast.Expr
+	idx  int // callee parameter position (receiver = recvIdx)
+}
 
 // byRefArgs lists the expressions a call could write through: the
 // method receiver and every argument whose type carries references
-// (pointer, slice, map, interface). Function-typed arguments are
+// (pointer, slice, map, interface), each tagged with the callee
+// parameter position it lands in. Function-typed arguments are
 // excluded — they are delegated callees, not written-to memory — and
 // so are *Worker handles: a callee's writes to its worker's scheduling
 // state are the scheduler's synchronized business, not user state.
 func byRefArgs(tp *typedPkg, call *ast.CallExpr) []effArg {
 	var out []effArg
+	var sig *types.Signature
+	if tv, ok := tp.info.Types[call.Fun]; ok && tv.Type != nil {
+		sig, _ = tv.Type.Underlying().(*types.Signature)
+	}
 	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
 		if selInfo, ok := tp.info.Selections[sel]; ok && selInfo.Kind() == types.MethodVal {
 			if tv, ok := tp.info.Types[sel.X]; !ok || tv.Type == nil || !isWorkerNamed(tv.Type) {
-				out = append(out, effArg{expr: sel.X})
+				out = append(out, effArg{expr: sel.X, idx: recvIdx})
 			}
 		}
 	}
-	for _, arg := range call.Args {
+	for ai, arg := range call.Args {
 		tv, ok := tp.info.Types[arg]
 		if !ok || tv.Type == nil {
 			continue
@@ -816,9 +907,13 @@ func byRefArgs(tp *typedPkg, call *ast.CallExpr) []effArg {
 		if isWorkerNamed(tv.Type) {
 			continue
 		}
+		idx := ai
+		if sig != nil && sig.Params().Len() > 0 && ai >= sig.Params().Len() {
+			idx = sig.Params().Len() - 1 // variadic tail shares the last position
+		}
 		switch tv.Type.Underlying().(type) {
 		case *types.Pointer, *types.Slice, *types.Map, *types.Interface:
-			out = append(out, effArg{expr: arg})
+			out = append(out, effArg{expr: arg, idx: idx})
 		}
 	}
 	return out

@@ -61,6 +61,33 @@ func refuseAliased(w *core.Worker, n int) []uint32 {
 	return dst
 }
 
+// refuseSignedHelper: the size helper can return a negative sentinel,
+// so its non-negativity summary fails and the prefix sum over its
+// results cannot be proven monotone.
+func refuseSignedHelper(w *core.Worker, rows [][]uint32) []byte {
+	offsets := make([]int64, len(rows)+1)
+	core.ForRange(w, 0, len(rows), 0, func(v int) {
+		offsets[v+1] = int64(signedCost(rows[v]))
+	})
+	total := core.ScanInclusive(w, offsets[1:])
+	out := make([]byte, total)
+	core.IndChunksUnchecked(w, out, offsets, func(i int, chunk []byte) {
+		for j := range chunk {
+			chunk[j] = byte(i)
+		}
+	})
+	return out
+}
+
+// signedCost returns -1 for empty rows — one signed return is enough
+// to sink the whole summary.
+func signedCost(row []uint32) int {
+	if len(row) == 0 {
+		return -1
+	}
+	return len(row)
+}
+
 func init() {
 	core.DeclareSite("refuse", "pack offsets build", core.Block)
 	core.DeclareSite("refuse", "affine-ish fills", core.Stride)

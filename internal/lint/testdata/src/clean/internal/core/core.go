@@ -134,3 +134,7 @@ func SetBit(bm []uint64, i int32) bool {
 func TestBit(bm []uint64, i int32) bool {
 	return bm[uint32(i)>>6]&(1<<(uint32(i)&63)) != 0
 }
+
+func CopyInto[T any](w *Worker, dst, src []T) {
+	copy(dst, src)
+}

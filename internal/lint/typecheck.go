@@ -40,6 +40,9 @@ type typeLoader struct {
 
 	sums        map[sumKey]*fnSummary
 	sumInflight map[sumKey]bool
+
+	nnSums     map[*types.Func]bool
+	nnInflight map[*types.Func]bool
 }
 
 func newTypeLoader(a *analysis) *typeLoader {
@@ -51,6 +54,8 @@ func newTypeLoader(a *analysis) *typeLoader {
 		stubs:       map[string]*types.Package{},
 		sums:        map[sumKey]*fnSummary{},
 		sumInflight: map[sumKey]bool{},
+		nnSums:      map[*types.Func]bool{},
+		nnInflight:  map[*types.Func]bool{},
 	}
 }
 

@@ -57,6 +57,10 @@ func GraphReport(w io.Writer, beforePath, afterPath string, scale bench.Scale, t
 	fmt.Fprintln(w, "(before = single-item MultiQueue kernels, pre-hybrid snapshot)")
 	fmt.Fprintln(w)
 
+	if err := xlGraphBlock(w, "BENCH_graph_xl.json"); err != nil {
+		return err
+	}
+
 	single, batched, err := bench.GraphQueueTelemetry(scale, threads)
 	if err != nil {
 		return err
@@ -83,5 +87,46 @@ func GraphReport(w io.Writer, beforePath, afterPath string, scale bench.Scale, t
 	}
 	fmt.Fprintf(w, "queue traffic vs single-item discipline: %s pushed items %s\n",
 		wasted, "(relaxation waste the batching trades for lock amortization)")
+	return nil
+}
+
+// xlGraphBlock renders the beyond-LLC table from BENCH_graph_xl.json
+// (`make bench-graph-xl`): every BenchmarkXLGraph* with its bytes/edge
+// and edges/sec columns, then the compressed-vs-plain speedup and byte
+// ratio per kernel pair — the compressed-CSR acceptance numbers
+// (docs/GRAPH.md "Compressed CSR"). A missing export is not an error:
+// the XL tier takes minutes to build, so the block just says how to
+// produce it.
+func xlGraphBlock(w io.Writer, path string) error {
+	xl, err := loadBenchJSON(path)
+	if err != nil {
+		fmt.Fprintf(w, "Beyond-LLC tier: no %s (run `make bench-graph-xl` to produce it)\n\n", path)
+		return nil
+	}
+	names := make([]string, 0, len(xl))
+	for name := range xl {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "Beyond-LLC graph kernels (ScaleLarge): %s\n", path)
+	fmt.Fprintf(w, "%-36s %14s %12s %12s\n", "benchmark", "ns/op", "bytes/edge", "edges/sec")
+	for _, name := range names {
+		m := xl[name]
+		eps := "-"
+		if mteps, ok := m["MTEPS"]; ok {
+			eps = fmt.Sprintf("%.1fM", mteps)
+		}
+		fmt.Fprintf(w, "%-36s %14.0f %12.2f %12s\n", name, m["ns_op"], m["bytes_edge"], eps)
+	}
+	for _, kernel := range []string{"BFS", "SSSP"} {
+		plain, okP := xl["BenchmarkXLGraph"+kernel+"RmatPlain"]
+		comp, okC := xl["BenchmarkXLGraph"+kernel+"RmatCompressed"]
+		if !okP || !okC || comp["ns_op"] <= 0 || plain["bytes_edge"] <= 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s rmat: compressed %.2fx speedup at %.2fx bytes/edge vs plain\n",
+			kernel, plain["ns_op"]/comp["ns_op"], comp["bytes_edge"]/plain["bytes_edge"])
+	}
+	fmt.Fprintln(w)
 	return nil
 }
