@@ -2,13 +2,18 @@
 
 GO ?= go
 
-.PHONY: build test lint certify certify-update races races-update race bench bench-sched bench-mem bench-mem-gate bench-graph bench-graph-gate bench-graph-xl bench-graph-xl-gate report figures inputs clean
+.PHONY: build check test lint certify certify-update races races-update lifetimes lifetimes-update race bench bench-sched bench-mem bench-mem-gate bench-graph bench-graph-gate bench-graph-xl bench-graph-xl-gate report figures inputs clean
 
 build:
 	$(GO) build ./...
 
 test: lint
 	$(GO) test ./...
+
+# Everything the merge gate needs in one target: build, the full fear
+# checker (vet + census), all three certification passes against their
+# committed artifacts, then the test suite. CI runs exactly this.
+check: build lint certify races lifetimes test
 
 # Source-level fear checker: static census + containment + race
 # heuristics (docs/LINT.md). Shared by CI.
@@ -34,6 +39,16 @@ races:
 
 races-update:
 	$(GO) run ./cmd/rpblint -races -write-races
+
+# Arena-lifetime certification (docs/LINT.md "Lifetime certification"):
+# classifies every arena checkout's lifetime and fails on unexplained
+# refusals in the enforced packages or a stale committed
+# lint-lifetimes.json. Shared by CI; lifetimes-update regenerates it.
+lifetimes:
+	$(GO) run ./cmd/rpblint -lifetimes
+
+lifetimes-update:
+	$(GO) run ./cmd/rpblint -lifetimes -write-lifetimes
 
 race:
 	$(GO) test -race ./...

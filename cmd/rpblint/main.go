@@ -1,25 +1,29 @@
 // Command rpblint is the suite's source-level fear checker: it
 // re-derives the pattern census from source, cross-checks it against
 // the DeclareSite registry, audits scared-construct containment, and
-// runs race heuristics over parallel bodies. See docs/LINT.md.
+// runs race and lifetime heuristics over parallel bodies. See
+// docs/LINT.md.
 //
 // Usage:
 //
 //	rpblint [-root dir] [-json] [-census] [packages...]
-//	rpblint -certify [-write-certs] [-certs file] [packages...]
+//	rpblint -certify [-write-certify] [-certify-file file] [packages...]
 //	rpblint -races [-write-races] [-races-file file] [packages...]
+//	rpblint -lifetimes [-write-lifetimes] [-lifetimes-file file] [packages...]
 //
 // Packages are directory patterns relative to the module root
 // ("./...", "./internal/bench", "examples/..."); with none given the
-// whole module is checked. -certify runs the offset-provenance prover
-// over every certifiable call site and compares the result against the
-// committed certificate file (-write-certs rewrites it instead).
-// -races runs the parallel-write certification pass: every write to
-// captured or escaping state inside a parallel region is classified
-// (worker-local, atomic, lock-guarded, index-disjoint, or refused) and
-// the result is compared against the committed lint-races.json. Exit
-// status: 0 clean, 1 diagnostics found / stale or unexplained
-// certificates, 2 analysis error.
+// whole module is checked.
+//
+// The three certification passes share one artifact discipline:
+// -certify proves offset provenance (lint-certs.json), -races proves
+// parallel-write exclusivity (lint-races.json), -lifetimes proves
+// arena-checkout confinement (lint-lifetimes.json). Each renders its
+// report, then either rewrites its committed artifact (-write-<pass>)
+// or byte-compares against it and fails when stale; unexplained
+// refusals in enforced directories fail regardless of staleness. Exit
+// status: 0 clean, 1 diagnostics / stale or unexplained certificates,
+// 2 analysis error.
 package main
 
 import (
@@ -35,16 +39,22 @@ import (
 
 func main() {
 	var (
-		root       = flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
-		asJSON     = flag.Bool("json", false, "emit the full report (census, packages, diagnostics) as JSON")
-		census     = flag.Bool("census", false, "print the static pattern census")
-		verbose    = flag.Bool("v", false, "print the per-package scared-construct table")
-		certify    = flag.Bool("certify", false, "run the offset-provenance certification pass")
-		certsFile  = flag.String("certs", "lint-certs.json", "certificate file, relative to the module root")
+		root    = flag.String("root", "", "module root (default: walk up from cwd to go.mod)")
+		asJSON  = flag.Bool("json", false, "emit the full report as JSON")
+		census  = flag.Bool("census", false, "print the static pattern census")
+		verbose = flag.Bool("v", false, "print the per-package scared-construct table")
+
+		certify   = flag.Bool("certify", false, "run the offset-provenance certification pass")
+		races     = flag.Bool("races", false, "run the parallel-write certification pass")
+		lifetimes = flag.Bool("lifetimes", false, "run the arena lifetime certification pass")
+
+		certsFile = flag.String("certs", "lint-certs.json", "certificate file, relative to the module root")
+		racesFile = flag.String("races-file", "lint-races.json", "race-certificate file, relative to the module root")
+		lifeFile  = flag.String("lifetimes-file", "lint-lifetimes.json", "lifetime-certificate file, relative to the module root")
+
 		writeCerts = flag.Bool("write-certs", false, "with -certify: rewrite the certificate file instead of comparing")
-		races      = flag.Bool("races", false, "run the parallel-write certification pass")
-		racesFile  = flag.String("races-file", "lint-races.json", "race-certificate file, relative to the module root")
 		writeRaces = flag.Bool("write-races", false, "with -races: rewrite the race-certificate file instead of comparing")
+		writeLife  = flag.Bool("write-lifetimes", false, "with -lifetimes: rewrite the lifetime-certificate file instead of comparing")
 	)
 	flag.Parse()
 
@@ -57,13 +67,37 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	cfg := lint.Config{Root: r, Dirs: flag.Args()}
 
-	if *certify {
-		runCertify(r, *certsFile, *writeCerts, flag.Args(), *asJSON)
+	// The certification passes share one artifact code path; each
+	// contributes only its runner and its refusal count.
+	switch {
+	case *certify:
+		runPass(r, *certsFile, *writeCerts, *asJSON, "-certify -write-certs", func() (passOut, error) {
+			rep, err := lint.Certify(cfg)
+			if err != nil {
+				return passOut{}, err
+			}
+			return passOut{artifact: rep.Marshal(), text: rep.String()}, nil
+		})
 		return
-	}
-	if *races {
-		runRaces(r, *racesFile, *writeRaces, flag.Args(), *asJSON)
+	case *races:
+		runPass(r, *racesFile, *writeRaces, *asJSON, "-races -write-races", func() (passOut, error) {
+			rep, err := lint.Races(cfg)
+			if err != nil {
+				return passOut{}, err
+			}
+			return passOut{artifact: rep.Marshal(), text: rep.String(), unexplained: rep.Unexplained}, nil
+		})
+		return
+	case *lifetimes:
+		runPass(r, *lifeFile, *writeLife, *asJSON, "-lifetimes -write-lifetimes", func() (passOut, error) {
+			rep, err := lint.Lifetimes(cfg)
+			if err != nil {
+				return passOut{}, err
+			}
+			return passOut{artifact: rep.Marshal(), text: rep.String(), unexplained: rep.Unexplained}, nil
+		})
 		return
 	}
 
@@ -105,6 +139,65 @@ func main() {
 	}
 }
 
+// passOut is what one certification pass hands the shared plumbing.
+type passOut struct {
+	artifact    []byte // canonical committed-file bytes
+	text        string // human rendering
+	unexplained int    // unexplained refusals in enforced directories
+}
+
+// runPass executes one certification pass and applies the shared
+// artifact discipline: print the report, then rewrite the committed
+// file (write=true) or byte-compare against it and fail when stale.
+// Unexplained refusals fail the run regardless of staleness.
+func runPass(root, file string, write, asJSON bool, updateHint string, run func() (passOut, error)) {
+	out, err := run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpblint:", err)
+		os.Exit(2)
+	}
+	if asJSON {
+		os.Stdout.Write(out.artifact)
+	} else {
+		fmt.Print(out.text)
+	}
+
+	fail := false
+	if out.unexplained > 0 {
+		fmt.Fprintf(os.Stderr, "rpblint: %d unexplained refusals in enforced directories (add //lint:scared markers or fix the sites)\n", out.unexplained)
+		fail = true
+	}
+
+	path := file
+	if !filepath.IsAbs(path) {
+		path = filepath.Join(root, path)
+	}
+	if write {
+		if err := os.WriteFile(path, out.artifact, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "rpblint:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "rpblint: wrote %s\n", path)
+		if fail {
+			os.Exit(1)
+		}
+		return
+	}
+	committed, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rpblint: no committed certificate file %s (run rpblint %s)\n", path, updateHint)
+		os.Exit(1)
+	}
+	if !bytes.Equal(committed, out.artifact) {
+		fmt.Fprintf(os.Stderr, "rpblint: %s is stale (run rpblint %s and commit the result)\n", path, updateHint)
+		os.Exit(1)
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "rpblint: %s is current\n", path)
+}
+
 // certsPath resolves the -certs flag against the module root. The
 // default value maps to the empty string so lint.Run treats a missing
 // file as "no certificates" rather than an error; an explicit -certs
@@ -117,97 +210,6 @@ func certsPath(root, certs string) string {
 		return certs
 	}
 	return filepath.Join(root, certs)
-}
-
-// runCertify executes the certification pass, then either rewrites the
-// certificate file (-write-certs) or byte-compares it against the
-// committed one and fails when stale.
-func runCertify(root, certs string, write bool, dirs []string, asJSON bool) {
-	rep, err := lint.Certify(lint.Config{Root: root, Dirs: dirs})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rpblint:", err)
-		os.Exit(2)
-	}
-	if asJSON {
-		os.Stdout.Write(rep.Marshal())
-	} else {
-		fmt.Print(rep.String())
-	}
-
-	path := certs
-	if !filepath.IsAbs(path) {
-		path = filepath.Join(root, path)
-	}
-	if write {
-		if err := os.WriteFile(path, rep.Marshal(), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "rpblint:", err)
-			os.Exit(2)
-		}
-		fmt.Fprintf(os.Stderr, "rpblint: wrote %s\n", path)
-		return
-	}
-	committed, err := os.ReadFile(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rpblint: no committed certificate file %s (run rpblint -certify -write-certs)\n", path)
-		os.Exit(1)
-	}
-	if !bytes.Equal(committed, rep.Marshal()) {
-		fmt.Fprintf(os.Stderr, "rpblint: %s is stale (run rpblint -certify -write-certs and commit the result)\n", path)
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "rpblint: %s is current\n", path)
-}
-
-// runRaces executes the parallel-write certification pass, then either
-// rewrites the race-certificate file (-write-races) or byte-compares it
-// against the committed one. Unexplained refusals (no //lint:scared
-// marker, in an enforced directory) fail regardless of staleness.
-func runRaces(root, racesFile string, write bool, dirs []string, asJSON bool) {
-	rep, err := lint.Races(lint.Config{Root: root, Dirs: dirs})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "rpblint:", err)
-		os.Exit(2)
-	}
-	if asJSON {
-		os.Stdout.Write(rep.Marshal())
-	} else {
-		fmt.Print(rep.String())
-	}
-
-	fail := false
-	if rep.Unexplained > 0 {
-		fmt.Fprintf(os.Stderr, "rpblint: %d unexplained refusals in enforced directories (add //lint:scared markers or fix the writes)\n", rep.Unexplained)
-		fail = true
-	}
-
-	path := racesFile
-	if !filepath.IsAbs(path) {
-		path = filepath.Join(root, path)
-	}
-	if write {
-		if err := os.WriteFile(path, rep.Marshal(), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "rpblint:", err)
-			os.Exit(2)
-		}
-		fmt.Fprintf(os.Stderr, "rpblint: wrote %s\n", path)
-		if fail {
-			os.Exit(1)
-		}
-		return
-	}
-	committed, err := os.ReadFile(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rpblint: no committed race-certificate file %s (run rpblint -races -write-races)\n", path)
-		os.Exit(1)
-	}
-	if !bytes.Equal(committed, rep.Marshal()) {
-		fmt.Fprintf(os.Stderr, "rpblint: %s is stale (run rpblint -races -write-races and commit the result)\n", path)
-		os.Exit(1)
-	}
-	if fail {
-		os.Exit(1)
-	}
-	fmt.Fprintf(os.Stderr, "rpblint: %s is current\n", path)
 }
 
 // findRoot walks up from the working directory to the nearest go.mod.

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		what    = flag.String("what", "all", "artifact: table1, table2, table3, fig3, fig4, fig5a, fig5b, fig6, dyncensus, fearreport, sched, mem, graph, coverage, certs, races, all")
+		what    = flag.String("what", "all", "artifact: table1, table2, table3, fig3, fig4, fig5a, fig5b, fig6, dyncensus, fearreport, sched, mem, graph, coverage, certs, races, lifetimes, all")
 		scale   = flag.String("scale", "small", "input scale: test, small, or default")
 		threads = flag.Int("threads", runtime.GOMAXPROCS(0), "parallel thread count (the paper's 24-core point)")
 		reps    = flag.Int("reps", 3, "repetitions per measurement")
@@ -95,4 +95,5 @@ func main() {
 		return report.Certs(out, report.Fig5Config{Scale: sc, Threads: *threads, Reps: *reps})
 	})
 	run("races", func() error { return report.RacesReport(out) })
+	run("lifetimes", func() error { return report.LifetimesReport(out) })
 }

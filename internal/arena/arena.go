@@ -54,7 +54,8 @@ type Arena struct {
 	gen   uint32   // generation stamp; Reset increments it
 	grown int      // bytes requested past cur across this generation
 
-	busy guard // -race builds: refuse concurrent metadata use
+	busy  guard    // -race builds: refuse concurrent metadata use
+	notes siteNote // -race builds: first checkout site per generation
 }
 
 // Mark is a point-in-time position in an arena, used for LIFO scoped
@@ -120,7 +121,11 @@ func (a *Arena) Release(m Mark) {
 	a.busy.enter()
 	defer a.busy.exit()
 	if m.gen != a.gen {
-		panic(fmt.Sprintf("arena: Release of stale mark (mark gen %d, arena gen %d): arena was Reset while the checkout was live", m.gen, a.gen))
+		msg := fmt.Sprintf("arena: Release of stale mark (mark gen %d, arena gen %d): arena was Reset while the checkout was live", m.gen, a.gen)
+		if site := a.notes.lookup(m.gen); site != "" {
+			msg += "; the mark generation's first checkout was allocated at " + site
+		}
+		panic(msg)
 	}
 	switch {
 	case m.full == len(a.full):
@@ -156,6 +161,7 @@ func (a *Arena) Reset() {
 	a.busy.enter()
 	defer a.busy.exit()
 	a.gen++
+	a.notes.prune(a.gen)
 	if len(a.full) > 0 {
 		a.consolidate()
 	}
@@ -211,6 +217,7 @@ func AllocUninit[T any, I Integer](a *Arena, n I) []T {
 	}
 	a.busy.enter()
 	defer a.busy.exit()
+	a.notes.record(a.gen)
 	bytes := nn * size
 	if bytes/size != nn {
 		panic("arena: checkout size overflow")

@@ -1,6 +1,7 @@
 package arena
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/sched"
@@ -65,8 +66,20 @@ func TestStaleMarkPanics(t *testing.T) {
 	_ = Alloc[int32](a, 4)
 	a.Reset()
 	defer func() {
-		if recover() == nil {
+		r := recover()
+		if r == nil {
 			t.Fatal("Release of a pre-Reset mark did not panic")
+		}
+		// Pin the message: debugging a stale mark starts from this
+		// string, and -race builds append the allocating call site to
+		// it (see sitenote_race_test.go).
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("stale-mark panic value is %T, want string", r)
+		}
+		want := "arena: Release of stale mark (mark gen 0, arena gen 1): arena was Reset while the checkout was live"
+		if !strings.HasPrefix(msg, want) {
+			t.Fatalf("stale-mark panic message\n  got:  %q\n  want prefix: %q", msg, want)
 		}
 	}()
 	a.Release(m)
@@ -165,6 +178,11 @@ func TestAllocSteadyStateZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("steady-state Alloc allocated %.1f per run, want 0", allocs)
+	}
+	if raceNotes {
+		// -race builds record one checkout site per generation; the
+		// Reset loop below bumps the generation every run.
+		return
 	}
 	a.Reset()
 	allocs = testing.AllocsPerRun(20, func() {

@@ -1,0 +1,18 @@
+//go:build !race
+
+package arena
+
+// siteNote compiles to nothing outside -race builds: the hot checkout
+// path stays free of bookkeeping, and the stale-mark panic reports
+// generation numbers only. See sitenote_race.go for the -race variant
+// that also names the allocating call site.
+// raceNotes reports whether checkout-site bookkeeping is compiled in.
+// The steady-state zero-allocation contract holds only when it is not:
+// -race builds pay one site record per generation.
+const raceNotes = false
+
+type siteNote struct{}
+
+func (siteNote) record(uint32)        {}
+func (siteNote) prune(uint32)         {}
+func (siteNote) lookup(uint32) string { return "" }

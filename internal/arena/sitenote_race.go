@@ -1,0 +1,66 @@
+//go:build race
+
+package arena
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+)
+
+// raceNotes reports whether checkout-site bookkeeping is compiled in;
+// see sitenote_norace.go for the contract it relaxes.
+const raceNotes = true
+
+// siteNote remembers, per generation, where the generation's first
+// checkout was allocated, so a stale-mark panic can name the code that
+// owned the reclaimed memory instead of just two generation numbers.
+// Only -race builds pay for it (one map lookup per checkout); normal
+// builds compile it to nothing (sitenote_norace.go). The map is pruned
+// to the current and previous generation on Reset — a stale mark is
+// almost always exactly one Reset old, and an older one still gets the
+// generation-number panic.
+type siteNote struct {
+	sites map[uint32]string
+}
+
+// record notes the first checkout site of a generation: the caller
+// closest to the user, skipping this package's own frames (AllocUninit
+// is reached through Alloc and the typed helpers).
+func (s *siteNote) record(gen uint32) {
+	if s.sites == nil {
+		s.sites = make(map[uint32]string)
+	}
+	if _, ok := s.sites[gen]; ok {
+		return
+	}
+	var pcs [8]uintptr
+	n := runtime.Callers(2, pcs[:])
+	frames := runtime.CallersFrames(pcs[:n])
+	for {
+		fr, more := frames.Next()
+		// Skip this package's own frames (Alloc funnels through
+		// AllocUninit) — but not its test files, which stand in for
+		// external callers.
+		own := strings.Contains(fr.Function, "internal/arena.") && !strings.HasSuffix(fr.File, "_test.go")
+		if fr.Function != "" && !own {
+			s.sites[gen] = fmt.Sprintf("%s:%d", fr.File, fr.Line)
+			return
+		}
+		if !more {
+			return
+		}
+	}
+}
+
+// prune drops notes older than the previous generation.
+func (s *siteNote) prune(cur uint32) {
+	for g := range s.sites {
+		if g != cur && g != cur-1 {
+			delete(s.sites, g)
+		}
+	}
+}
+
+// lookup returns the recorded site for a generation, or "".
+func (s *siteNote) lookup(gen uint32) string { return s.sites[gen] }

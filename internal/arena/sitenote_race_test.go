@@ -1,0 +1,58 @@
+//go:build race
+
+package arena
+
+import (
+	"strings"
+	"testing"
+)
+
+// Under -race the stale-mark panic must also name where the stale
+// generation's first checkout was allocated — that call site is the
+// code whose memory was reclaimed, which is where debugging starts.
+func TestStaleMarkPanicNamesAllocSite(t *testing.T) {
+	a := &Arena{}
+	m := a.Mark()
+	_ = Alloc[int32](a, 4) // the site the panic must name
+	a.Reset()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Release of a pre-Reset mark did not panic")
+		}
+		msg, _ := r.(string)
+		const tag = "the mark generation's first checkout was allocated at "
+		if !strings.Contains(msg, tag) {
+			t.Fatalf("stale-mark panic under -race lacks the allocating site:\n  %q", msg)
+		}
+		if !strings.Contains(msg, "sitenote_race_test.go:") {
+			t.Fatalf("allocating site does not point at this test file:\n  %q", msg)
+		}
+	}()
+	a.Release(m)
+}
+
+// Reset prunes notes to the current and previous generation: a mark
+// two Resets old still panics, but with generation numbers only.
+func TestSiteNotePrunedAfterTwoResets(t *testing.T) {
+	a := &Arena{}
+	m := a.Mark()
+	_ = Alloc[int32](a, 4)
+	a.Reset()
+	_ = Alloc[int32](a, 4)
+	a.Reset()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Release of a twice-stale mark did not panic")
+		}
+		msg, _ := r.(string)
+		if !strings.HasPrefix(msg, "arena: Release of stale mark") {
+			t.Fatalf("unexpected panic: %q", msg)
+		}
+		if strings.Contains(msg, "allocated at") {
+			t.Fatalf("pruned generation should not report a site:\n  %q", msg)
+		}
+	}()
+	a.Release(m)
+}

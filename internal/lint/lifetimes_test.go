@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLifetimesFixtureClean pins the positive fixtures: one function
+// per proof form the lifetimes pass accepts. Every checkout must land
+// in a non-refused class, and every class and release discipline the
+// pass knows must fire at least once — a silent downgrade to refused
+// is a regression even if the counts happen to balance.
+func TestLifetimesFixtureClean(t *testing.T) {
+	rep, err := Lifetimes(Config{Root: filepath.Join("testdata", "src", "lifetimes-clean")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "lifetimes-clean.golden", rep.String())
+
+	if rep.Refused != 0 || rep.Unexplained != 0 {
+		t.Errorf("clean fixtures: %d refused (%d unexplained), want 0/0", rep.Refused, rep.Unexplained)
+	}
+	if rep.Released == 0 || rep.RegionConfined == 0 || rep.WorkerConfined == 0 {
+		t.Errorf("clean fixtures: class counts %d/%d/%d, every class must fire",
+			rep.Released, rep.RegionConfined, rep.WorkerConfined)
+	}
+	details := map[string]bool{}
+	for _, s := range rep.Sites {
+		details[s.Detail] = true
+	}
+	for _, want := range []string{
+		"deferred", "ReleaseBox", "never leaves the region body",
+		"standalone worker-lifetime arena", "cleared before box reuse",
+	} {
+		found := false
+		for d := range details {
+			if strings.Contains(d, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no clean-fixture site classified with detail containing %q", want)
+		}
+	}
+}
+
+// TestLifetimesFixtureBad pins the negative fixtures: every shape one
+// obligation away from confinement must be refused with its
+// proof-chain reason, and only the site carrying a //lint:scared
+// marker escapes the unexplained count (the fixture package sits in an
+// enforced directory).
+func TestLifetimesFixtureBad(t *testing.T) {
+	rep, err := Lifetimes(Config{Root: filepath.Join("testdata", "src", "lifetimes-bad")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "lifetimes-bad.golden", rep.String())
+
+	for _, s := range rep.Sites {
+		if s.Class != LifeRefused {
+			t.Errorf("bad-fixture site %s:%d classified %s, want refused", s.File, s.Line, s.Class)
+		}
+	}
+	reasons := map[string]bool{}
+	for _, s := range rep.Sites {
+		reasons[s.Reason] = true
+	}
+	for _, want := range []string{
+		"used after Release",        // use-after-release
+		"out of LIFO order",         // mark released out of LIFO order
+		"different worker goroutine", // cross-worker escape
+		"returned from",             // returned checkout
+		"stale mark",                // stale mark across Reset
+		"used after Reset",          // checkout use across Reset
+		"read before first write",   // AllocUninit read-before-write
+		"package-level",             // global store
+		"sent on a channel",         // channel escape
+		"retained by",               // interprocedural escape summary
+		"dynamic callee",            // opaque hand-off
+	} {
+		found := false
+		for r := range reasons {
+			if strings.Contains(r, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no bad-fixture refusal with reason containing %q", want)
+		}
+	}
+	if rep.Unexplained != rep.Refused-1 {
+		t.Errorf("bad fixtures: %d unexplained of %d refused, want all but the audited site", rep.Unexplained, rep.Refused)
+	}
+	for _, s := range rep.Sites {
+		if s.Marker && s.Func != "Audited" {
+			t.Errorf("site in %s carries a marker; only Audited should", s.Func)
+		}
+	}
+}
+
+// TestLifetimesRepo runs the pass over the repository itself: the
+// enforced directories must stay free of unexplained refusals, and the
+// committed lint-lifetimes.json must match what the pass derives — the
+// same staleness contract `make lifetimes` enforces in CI.
+func TestLifetimesRepo(t *testing.T) {
+	rep, err := Lifetimes(Config{Root: filepath.Join("..", "..")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Unexplained != 0 {
+		t.Errorf("%d unexplained refusals in enforced directories, want 0:", rep.Unexplained)
+		for _, s := range rep.Sites {
+			if s.Class == LifeRefused && !s.Marker && lifeEnforced(s.File) {
+				t.Errorf("  %s", s.String())
+			}
+		}
+	}
+	committed, err := os.ReadFile(filepath.Join("..", "..", "lint-lifetimes.json"))
+	if err != nil {
+		t.Fatalf("missing committed lint-lifetimes.json: %v (run make lifetimes-update)", err)
+	}
+	if string(committed) != string(rep.Marshal()) {
+		t.Error("committed lint-lifetimes.json is stale (run make lifetimes-update)")
+	}
+}

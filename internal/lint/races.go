@@ -138,7 +138,7 @@ func (a *analysis) races() *RaceReport {
 				if !ok || fd.Body == nil {
 					continue
 				}
-				regions := rp.collectRegions(tp, f, fd)
+				regions := collectRegions(tp, f, fd)
 				rep.Regions += len(regions)
 				for _, r := range regions {
 					rc := newRegionCheck(rp, tp, f, fd, r)
@@ -312,8 +312,11 @@ type raceRegion struct {
 
 // collectRegions finds the parallel regions created inside one
 // function, and the closure literals they claim (so enclosing regions
-// do not re-walk a nested region's body).
-func (rp *racePass) collectRegions(tp *typedPkg, f *fileInfo, fd *ast.FuncDecl) []*raceRegion {
+// do not re-walk a nested region's body). It is shared by the races
+// pass (every region's writes are classified) and the lifetimes pass
+// (a checkout's fate is judged against the region that owns it); see
+// regionflow.go for the latter's flow walk.
+func collectRegions(tp *typedPkg, f *fileInfo, fd *ast.FuncDecl) []*raceRegion {
 	var regions []*raceRegion
 	claimed := map[*ast.FuncLit]bool{}
 
@@ -515,7 +518,7 @@ func (rp *racePass) collectRegions(tp *typedPkg, f *fileInfo, fd *ast.FuncDecl) 
 
 	// A RangeBody's RunRange method is itself a region: sched.ForBody
 	// invokes it concurrently over disjoint subranges.
-	if r := rp.runRangeRegion(tp, fd); r != nil {
+	if r := runRangeRegion(tp, fd); r != nil {
 		regions = append(regions, r)
 	}
 
@@ -528,7 +531,7 @@ func (rp *racePass) collectRegions(tp *typedPkg, f *fileInfo, fd *ast.FuncDecl) 
 // runRangeRegion recognizes a RunRange(w *Worker, lo, hi int) method
 // declaration (the sched.RangeBody contract) as a parallel region whose
 // lo/hi parameters are a handed disjoint subrange.
-func (rp *racePass) runRangeRegion(tp *typedPkg, fd *ast.FuncDecl) *raceRegion {
+func runRangeRegion(tp *typedPkg, fd *ast.FuncDecl) *raceRegion {
 	if fd.Recv == nil || fd.Name.Name != "RunRange" || fd.Type.Params == nil {
 		return nil
 	}

@@ -1,0 +1,14 @@
+// Package core is a type-checkable stand-in for the real substrate,
+// mirroring the alias layout (core.Worker = sched.Worker) the
+// lifetimes pass resolves against.
+package core
+
+import "fixture/internal/sched"
+
+type Worker = sched.Worker
+
+func ForRange(w *Worker, lo, hi, grain int, f func(i int)) {
+	for i := lo; i < hi; i++ {
+		f(i)
+	}
+}

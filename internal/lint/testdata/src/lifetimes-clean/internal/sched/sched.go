@@ -1,0 +1,14 @@
+// Package sched is a type-checkable stand-in for the real scheduler;
+// the lifetimes fixtures only need the Worker type and the fork
+// methods that create parallel regions.
+package sched
+
+type Worker struct{ id int }
+
+func (w *Worker) ID() int { return w.id }
+
+func (w *Worker) Join(fa, fb func(w *Worker)) { fa(w); fb(w) }
+
+func (w *Worker) For(lo, hi, grain int, body func(w *Worker, lo, hi int)) {
+	body(w, lo, hi)
+}

@@ -142,6 +142,13 @@ func ProcessBatch(nWorkers int, seeds []Item, opt Options, task func(workerID in
 			defer pop.FlushStats()
 			a := arena.Standalone()
 			batch := arena.AllocUninit[Item](a, opt.BatchSize)
+			// The stage buffer reaches the user's task callback through
+			// ctx, which the lifetimes pass cannot see through. Safe
+			// because ctx.Push only appends into stage's own capacity
+			// and ctx.flush republishes items by value before the next
+			// PopBatch reuses the memory; the standalone arena lives as
+			// long as this worker goroutine.
+			//lint:scared stage transits through ctx into the dynamic task callback; items leave by value in flush, memory never outlives the worker
 			stage := arena.AllocUninit[Item](a, opt.BatchSize)
 			ctx := &batchCtx{p: pop, inFlight: &inFlight, buf: stage[:0], max: opt.BatchSize}
 			idle := 0
