@@ -99,10 +99,14 @@ bench-graph-gate:
 # Beyond-LLC graph benchmarks (bench_graph_xl_test.go): the same BFS /
 # SSSP kernels at ScaleLarge over plain and compressed CSR, reporting
 # bytes/edge and MTEPS into BENCH_graph_xl.json — the compressed-CSR
-# acceptance data (docs/GRAPH.md "Compressed CSR"). Building the inputs
-# takes minutes, hence the long timeout; CI runs the gate variant at
-# BENCHTIME=1x as a smoke test. -baseline-add lets a first-appearance
-# benchmark enter the committed baseline instead of failing the gate.
+# acceptance data (docs/GRAPH.md "Compressed CSR") — plus the
+# BenchmarkXLGraphDecode* decode-bandwidth family (GB/s and edges/ns:
+# plain stream vs v1 scalar varint vs group-varint, forward and
+# transpose), which the BenchmarkXLGraph regex picks up so the gate's
+# smoke row covers decode too. Building the inputs takes minutes,
+# hence the long timeout; CI runs the gate variant at BENCHTIME=1x as
+# a smoke test. -baseline-add lets a first-appearance benchmark enter
+# the committed baseline instead of failing the gate.
 XLGRAPH_BENCH = BenchmarkXLGraph
 bench-graph-xl:
 	$(GO) test -run xxx -bench '$(XLGRAPH_BENCH)' -benchmem -benchtime $(BENCHTIME) -timeout 90m . | $(GO) run ./cmd/benchjson -out BENCH_graph_xl.json

@@ -28,11 +28,12 @@ import (
 // and shared by every benchmark that names the same input.
 type xlData struct {
 	g, tg    *graph.Graph  // plain CSR, sorted rows + its transpose
-	cg, ctg  *graph.CGraph // compressed CSR + its compressed transpose
+	cg, ctg  *graph.CGraph // compressed CSR + pool-sharing compressed transpose
+	v1       *graph.V1Rows // PR-7 scalar varint encoding: decode-bench baseline
 	wg       *graph.WGraph
-	cw       *graph.CWGraph
-	bfsWant  []uint32 // sequential oracle levels from vertex 0
-	ssspWant []uint32 // reference distances from one plain delta-stepping run
+	cw, ctw  *graph.CWGraph // weighted compressed pair, one shared pool
+	bfsWant  []uint32       // sequential oracle levels from vertex 0
+	ssspWant []uint32       // reference distances from one plain delta-stepping run
 }
 
 var (
@@ -54,12 +55,13 @@ func xlLoad(b *testing.B, input string) *xlData {
 		var tb graph.Builder
 		d.tg = tb.Transpose(w, d.g)
 		graph.SortAdjacency(w, d.tg)
-		var cb, ctb graph.Builder
+		var cb graph.Builder
 		d.cg = cb.Compress(w, d.g)
-		d.ctg = ctb.Compress(w, d.tg)
+		d.ctg = cb.CompressTranspose(w, d.tg)
 		d.wg = graph.LoadUndirectedWeighted(w, input, graph.ScaleLarge, 0x555)
-		d.cw = graph.LoadUndirectedWeightedC(w, input, graph.ScaleLarge, 0x555)
+		d.cw, d.ctw = graph.LoadUndirectedWeightedCT(w, input, graph.ScaleLarge, 0x555)
 	})
+	d.v1 = graph.EncodeV1(d.g)
 	d.bfsWant = bench.BFSOracle(d.g, 0)
 	xlCache[input] = d
 	return d
@@ -133,6 +135,64 @@ func ssspDistOf(d *xlData) []uint32 {
 		d.ssspWant = append([]uint32(nil), k.Dist()...)
 	}
 	return d.ssspWant
+}
+
+// benchXLDecode is the decode-bandwidth microbenchmark body: one
+// thread streams every row of a representation through its RowInto —
+// the single-row decode path the traversal kernels sit on — folding
+// the last neighbor into a sink so the decode cannot be elided. It
+// reports GB/s over the encoded byte mass (how fast the codec turns
+// bytes into neighbors) and edges/ns (decoded edge throughput, the
+// metric the ≥2x group-vs-v1 target is judged on).
+func benchXLDecode(b *testing.B, n int32, maxDeg int, streamBytes, edges int64, rowInto func(v int32, buf []int32) []int32) {
+	buf := make([]int32, maxDeg)
+	var sink int32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for v := int32(0); v < n; v++ {
+			row := rowInto(v, buf)
+			if len(row) > 0 {
+				sink ^= row[len(row)-1]
+			}
+		}
+	}
+	b.StopTimer()
+	runtime.KeepAlive(sink)
+	el := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(float64(streamBytes)/el/1e9, "GB/s")
+	b.ReportMetric(float64(edges)/(el*1e9), "edges/ns")
+	b.ReportMetric(float64(streamBytes)/float64(edges), "enc-bytes/edge")
+}
+
+// Plain CSR: no decode, just streaming the int32 adjacency — the
+// memory-bandwidth ceiling the codecs are priced against.
+func BenchmarkXLGraphDecodeRmatPlain(b *testing.B) {
+	d := xlLoad(b, graph.InputRMAT)
+	g := d.g
+	benchXLDecode(b, g.N, int(g.MaxDegree()), g.NumEdges()*4, g.NumEdges(), g.RowInto)
+}
+
+// v1 scalar codec: one branchy LEB128 varint per gap (the PR-7 layout).
+func BenchmarkXLGraphDecodeRmatV1(b *testing.B) {
+	d := xlLoad(b, graph.InputRMAT)
+	benchXLDecode(b, d.v1.N, int(d.g.MaxDegree()), d.v1.StreamBytes(), d.g.NumEdges(), d.v1.RowInto)
+}
+
+// Group-varint codec: 8-gap groups behind a 2-byte control word,
+// decoded by unrolled masked loads.
+func BenchmarkXLGraphDecodeRmatGroup(b *testing.B) {
+	d := xlLoad(b, graph.InputRMAT)
+	cg := d.cg
+	benchXLDecode(b, cg.N, int(cg.MaxDegree()), cg.BOffs[cg.N]-cg.BOffs[0], cg.NumEdges(), cg.RowInto)
+}
+
+// Group-varint transpose rows, streamed from the shared pool's second
+// half — the bytes the bottom-up BFS and SSSP pull paths traverse.
+func BenchmarkXLGraphDecodeRmatGroupTranspose(b *testing.B) {
+	d := xlLoad(b, graph.InputRMAT)
+	ctg := d.ctg
+	benchXLDecode(b, ctg.N, int(ctg.MaxDegree()), ctg.BOffs[ctg.N]-ctg.BOffs[0], ctg.NumEdges(), ctg.RowInto)
 }
 
 func BenchmarkXLGraphBFSRmatPlain(b *testing.B) {

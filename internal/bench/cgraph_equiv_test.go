@@ -31,9 +31,18 @@ func TestBFSCompressedMatchesPlain(t *testing.T) {
 				var tb graph.Builder
 				tg := tb.Transpose(nil, g)
 				graph.SortAdjacency(nil, tg)
-				var cb, ctb graph.Builder
+				var cb graph.Builder
 				cg := cb.Compress(nil, g)
-				ctg := ctb.Compress(nil, tg)
+				ctg := cb.CompressTranspose(nil, tg)
+				// Shared-pool invariants: both directions alias one byte
+				// pool, transpose rows starting where the forward stream
+				// ends.
+				if &cg.Bytes[0] != &ctg.Bytes[0] {
+					t.Fatal("forward and transpose do not share a byte pool")
+				}
+				if ctg.BOffs[0] != cg.BOffs[cg.N] {
+					t.Fatalf("transpose base %d != forward end %d", ctg.BOffs[0], cg.BOffs[cg.N])
+				}
 				want := bfsOracle(g, 0)
 				if cwant := bfsOracle(cg, 0); !equalU32(want, cwant) {
 					t.Fatal("sequential oracle differs between representations")
@@ -81,11 +90,19 @@ func TestBFSCompressedMatchesPlain(t *testing.T) {
 }
 
 func TestSSSPCompressedMatchesPlain(t *testing.T) {
+	pool := core.NewPool(4)
+	defer pool.Close()
 	for _, input := range []string{graph.InputLink, graph.InputRMAT, graph.InputRoad} {
 		for _, scale := range equivScales(t) {
 			t.Run(fmt.Sprintf("%s/scale%d", input, scale), func(t *testing.T) {
 				wg := graph.LoadUndirectedWeighted(nil, input, scale, 0x555)
-				cw := graph.LoadUndirectedWeightedC(nil, input, scale, 0x555)
+				var ptb graph.Builder
+				twg := ptb.TransposeW(nil, wg)
+				graph.SortAdjacencyW(nil, twg)
+				cw, ctw := graph.LoadUndirectedWeightedCT(nil, input, scale, 0x555)
+				if &cw.Bytes[0] != &ctw.Bytes[0] {
+					t.Fatal("weighted forward and transpose do not share a byte pool")
+				}
 				want := dijkstraOracle(wg, 0)
 				if cwant := dijkstraOracle(cw, 0); !equalU32(want, cwant) {
 					t.Fatal("sequential oracle differs between representations")
@@ -108,6 +125,27 @@ func TestSSSPCompressedMatchesPlain(t *testing.T) {
 				c.run(4)
 				if err := c.verify(); err != nil {
 					t.Fatalf("cgraph direct: %v", err)
+				}
+				// Pull mode: synchronous Bellman-Ford rounds gathering over
+				// the weighted transpose — plain and compressed (the latter
+				// streaming the pool-sharing compressed transpose), parallel
+				// and sequential.
+				p.reset()
+				p.setTranspose(twg)
+				pool.Do(func(w *core.Worker) { p.runPull(w) })
+				if err := p.verify(); err != nil {
+					t.Fatalf("plain pull: %v", err)
+				}
+				c.reset()
+				c.setTranspose(ctw)
+				pool.Do(func(w *core.Worker) { c.runPull(w) })
+				if err := c.verify(); err != nil {
+					t.Fatalf("cgraph pull: %v", err)
+				}
+				c.reset()
+				c.runPull(nil)
+				if err := c.verify(); err != nil {
+					t.Fatalf("cgraph pull sequential: %v", err)
 				}
 			})
 		}

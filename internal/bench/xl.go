@@ -56,6 +56,17 @@ func (k *SSSPKernel[A]) Reset() { k.s.reset() }
 // Run executes one delta-stepping run at the given worker count.
 func (k *SSSPKernel[A]) Run(threads int) { k.s.runDelta(threads) }
 
+// SetTranspose installs the weighted in-edge view for pull mode. For a
+// compressed configuration, pass the pool-sharing compressed transpose
+// (graph.Builder.CompressTransposeW) so pull rounds stream compressed
+// rows.
+func (k *SSSPKernel[A]) SetTranspose(tg A) { k.s.setTranspose(tg) }
+
+// RunPull executes synchronous Bellman-Ford pull rounds over the
+// transpose installed by SetTranspose, on w's pool (sequential if w is
+// nil).
+func (k *SSSPKernel[A]) RunPull(w *core.Worker) { k.s.runPull(w) }
+
 // SetWant installs the oracle distances Verify checks against.
 func (k *SSSPKernel[A]) SetWant(want []uint32) { k.s.want = want }
 

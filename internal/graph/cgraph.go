@@ -9,18 +9,29 @@ import (
 
 // CGraph is the compressed CSR variant (docs/GRAPH.md "Compressed
 // CSR"): vertex v's sorted neighbor row lives byte-encoded at
-// Bytes[BOffs[v]:BOffs[v+1]] in the codec of codec.go. EOffs keeps the
-// plain edge-rank offsets so Degree stays O(1) and weighted variants
-// can index an uncompressed weight array; BOffs is int64 because the
-// byte stream of a beyond-LLC graph does not fit int32 arithmetic
-// headroom. Shards partitions the vertices into cache-blocked,
-// 64-aligned ranges of roughly equal byte mass so a traversal can hand
-// each worker one contiguous byte segment to stream.
+// Bytes[BOffs[v]:BOffs[v+1]] in the group-varint codec of codec.go.
+// EOffs keeps the plain edge-rank offsets so Degree stays O(1) and
+// weighted variants can index an uncompressed weight array; BOffs is
+// int64 because the byte stream of a beyond-LLC graph does not fit
+// int32 arithmetic headroom. Shards partitions the vertices into
+// cache-blocked, 64-aligned ranges of roughly equal byte mass so a
+// traversal can hand each worker one contiguous byte segment to
+// stream.
+//
+// Bytes is a *pool*, not necessarily this graph's exclusive stream:
+// Builder.CompressTranspose appends a second direction's rows to the
+// forward graph's pool, and both CGraphs then alias the same backing
+// array with absolute BOffs (forward rows at [BOffs[0], BOffs[N]) =
+// [0, fwd), transpose rows at [fwd, fwd+rev)). Whoever owns the pool,
+// its last codecSlack bytes are a zero pad past every encoded row —
+// the over-read headroom the group decoder's masked 4-byte loads
+// require (codec.go), which is why row decodes slice Bytes[BOffs[v]:]
+// rather than the exact segment.
 type CGraph struct {
 	N      int32
 	EOffs  []int32 // length N+1: edge-rank offsets (degrees, weight indexing)
-	BOffs  []int64 // length N+1: byte offsets into Bytes
-	Bytes  []byte  // length BOffs[N]: delta/varint-encoded rows
+	BOffs  []int64 // length N+1: byte offsets into Bytes; BOffs[0] > 0 for a pool-sharing transpose
+	Bytes  []byte  // shared byte pool: encoded rows + codecSlack zero pad
 	MaxDeg int32   // decode scratch sizing
 	Shards []Shard // 64-aligned vertex ranges of ~shardTargetBytes each
 }
@@ -147,45 +158,75 @@ func (c *CGraph) Degree(v int32) int32 { return c.EOffs[v+1] - c.EOffs[v] }
 // MaxDegree returns the largest out-degree, recorded at build time.
 func (c *CGraph) MaxDegree() int32 { return c.MaxDeg }
 
-// RowInto decodes v's row into buf and returns buf[:Degree(v)].
+// RowInto decodes v's row into buf and returns buf[:Degree(v)]. The
+// suffix slice (not the exact segment) hands the decoder the pool's
+// slack pad for its fixed-width group loads.
 func (c *CGraph) RowInto(v int32, buf []int32) []int32 {
-	return decodeRow(v, c.Bytes[c.BOffs[v]:c.BOffs[v+1]], c.Degree(v), buf)
+	return decodeRow(v, c.Bytes[c.BOffs[v]:], c.Degree(v), buf)
 }
 
 // FindFirstIn decodes v's row incrementally, returning the first
 // neighbor set in bm or -1. The early exit matters: on a dense frontier
 // the probe usually hits within the first few gaps, so most of the row
-// is never decoded.
+// is never decoded. Reconstruction advances group-at-a-time through
+// the same unrolled masked-load stanzas as decodeRow — the control
+// word prices a whole group's payload up front, and the running
+// neighbor value (sorted rows make it the running maximum) is probed
+// as each gap lands, so a miss skips to the next control word without
+// per-byte continuation branches.
 func (c *CGraph) FindFirstIn(v int32, bm []uint64) int32 {
-	lo, hi := c.BOffs[v], c.BOffs[v+1]
-	if lo == hi {
+	deg := c.Degree(v)
+	if deg == 0 {
 		return -1
 	}
-	buf := c.Bytes[lo:hi]
+	buf := c.Bytes[c.BOffs[v]:]
 	first, k := getVarint(buf, 0)
 	u := int32(int64(v) + unzigzag(first))
-	for {
-		if bm[uint32(u)>>6]&(1<<(uint32(u)&63)) != 0 {
-			return u
+	if bm[uint32(u)>>6]&(1<<(uint32(u)&63)) != 0 {
+		return u
+	}
+	i := int32(1)
+	for ; i+gvGroup <= deg; i += gvGroup {
+		c0, c1 := buf[k], buf[k+1]
+		k += gvCtrl
+		m, f := &gvMasks[c0], &gvOffs[c0]
+		for j := 0; j < 4; j++ {
+			u += int32(load32(buf, k+int(f[j])) & m[j])
+			if bm[uint32(u)>>6]&(1<<(uint32(u)&63)) != 0 {
+				return u
+			}
 		}
-		if k >= len(buf) {
-			return -1
+		k += int(gvTot[c0])
+		m, f = &gvMasks[c1], &gvOffs[c1]
+		for j := 0; j < 4; j++ {
+			u += int32(load32(buf, k+int(f[j])) & m[j])
+			if bm[uint32(u)>>6]&(1<<(uint32(u)&63)) != 0 {
+				return u
+			}
 		}
+		k += int(gvTot[c1])
+	}
+	for ; i < deg; i++ {
 		var gap uint64
 		gap, k = getVarint(buf, k)
 		u += int32(gap)
+		if bm[uint32(u)>>6]&(1<<(uint32(u)&63)) != 0 {
+			return u
+		}
 	}
+	return -1
 }
 
 // ByteOffset is v's byte position in the compressed stream.
 func (c *CGraph) ByteOffset(v int32) int64 { return c.BOffs[v] }
 
 // FootprintBytes is the compressed CSR's resident size: both offset
-// arrays (int32 edge ranks + int64 byte offsets) plus the encoded byte
-// stream — the honest accounting that charges the compression its
-// extra offset array.
+// arrays (int32 edge ranks + int64 byte offsets) plus this direction's
+// span of the encoded byte pool — the honest accounting that charges
+// the compression its extra offset array, and charges a pool-sharing
+// pair each direction exactly once.
 func (c *CGraph) FootprintBytes() int64 {
-	return int64(c.N+1)*4 + int64(c.N+1)*8 + int64(len(c.Bytes))
+	return int64(c.N+1)*4 + int64(c.N+1)*8 + (c.BOffs[c.N] - c.BOffs[0])
 }
 
 // WRow decodes v's neighbors into buf and returns them with the
@@ -205,8 +246,19 @@ func (c *CGraph) Validate() error {
 	if len(c.EOffs) != int(c.N)+1 || len(c.BOffs) != int(c.N)+1 {
 		return fmt.Errorf("graph: CGraph offset arrays have length %d/%d, want %d", len(c.EOffs), len(c.BOffs), c.N+1)
 	}
-	if c.BOffs[c.N] != int64(len(c.Bytes)) {
-		return fmt.Errorf("graph: CGraph byte stream has %d bytes, offsets claim %d", len(c.Bytes), c.BOffs[c.N])
+	if c.BOffs[0] < 0 || c.BOffs[c.N] < c.BOffs[0] || c.BOffs[c.N]+codecSlack > int64(len(c.Bytes)) {
+		return fmt.Errorf("graph: CGraph byte extent [%d,%d)+%d slack exceeds pool of %d bytes", c.BOffs[0], c.BOffs[c.N], codecSlack, len(c.Bytes))
+	}
+	if c.BOffs[c.N]+codecSlack == int64(len(c.Bytes)) {
+		// This graph's rows end the pool, so the next codecSlack bytes are
+		// its zero pad. (A pool-sharing forward graph is followed by
+		// transpose rows instead — those checked by the transpose's own
+		// Validate — so only the tail owner vets the pad.)
+		for j := int64(0); j < codecSlack; j++ {
+			if c.Bytes[c.BOffs[c.N]+j] != 0 {
+				return fmt.Errorf("graph: CGraph slack byte %d past offset %d is %#x, want 0", j, c.BOffs[c.N], c.Bytes[c.BOffs[c.N]+j])
+			}
+		}
 	}
 	for v := int32(0); v < c.N; v++ {
 		deg := c.Degree(v)
@@ -220,27 +272,60 @@ func (c *CGraph) Validate() error {
 			}
 			continue
 		}
-		buf := c.Bytes[lo:hi]
-		first, k := getVarint(buf, 0)
+		// The walk below re-derives the group layout with explicit bounds
+		// checks and byte-at-a-time payload assembly — unlike decodeRow it
+		// never reads past the exact segment, so it can vet a stream whose
+		// offsets are themselves suspect.
+		seg := c.Bytes[lo:hi]
+		first, k, ok := getVarintBounded(seg, 0)
+		if !ok {
+			return fmt.Errorf("graph: CGraph row %d truncates its first-delta varint", v)
+		}
 		u := int64(v) + unzigzag(first)
-		prev := u
 		if u < 0 || u >= int64(c.N) {
 			return fmt.Errorf("graph: CGraph row %d decodes out-of-range first neighbor %d", v, u)
 		}
-		for i := int32(1); i < deg; i++ {
-			if k >= len(buf) {
+		i := int32(1)
+		for ; i+gvGroup <= deg; i += gvGroup {
+			if k+gvCtrl > len(seg) {
+				return fmt.Errorf("graph: CGraph row %d truncates a control word at byte %d", v, k)
+			}
+			c0, c1 := seg[k], seg[k+1]
+			k += gvCtrl
+			if k+int(gvTot[c0])+int(gvTot[c1]) > len(seg) {
+				return fmt.Errorf("graph: CGraph row %d truncates group payload at byte %d", v, k)
+			}
+			for j := 0; j < gvGroup; j++ {
+				var l int
+				if j < 4 {
+					l = int(gvLens[c0][j])
+				} else {
+					l = int(gvLens[c1][j-4])
+				}
+				var gap uint64
+				for bpos := 0; bpos < l; bpos++ {
+					gap |= uint64(seg[k]) << (8 * bpos)
+					k++
+				}
+				u += int64(gap)
+				if u >= int64(c.N) {
+					return fmt.Errorf("graph: CGraph row %d decodes out-of-range neighbor %d", v, u)
+				}
+			}
+		}
+		for ; i < deg; i++ {
+			gap, k2, ok := getVarintBounded(seg, k)
+			if !ok {
 				return fmt.Errorf("graph: CGraph row %d exhausts its byte segment at neighbor %d/%d", v, i, deg)
 			}
-			var gap uint64
-			gap, k = getVarint(buf, k)
-			u = prev + int64(gap)
+			k = k2
+			u += int64(gap)
 			if u >= int64(c.N) {
 				return fmt.Errorf("graph: CGraph row %d decodes out-of-range neighbor %d", v, u)
 			}
-			prev = u
 		}
-		if k != len(buf) {
-			return fmt.Errorf("graph: CGraph row %d decodes %d bytes, segment has %d", v, k, len(buf))
+		if k != len(seg) {
+			return fmt.Errorf("graph: CGraph row %d decodes %d bytes, segment has %d", v, k, len(seg))
 		}
 	}
 	return nil
@@ -315,8 +400,11 @@ func (b *Builder) Compress(w *core.Worker, g *Graph) *CGraph {
 	b.cg.EOffs = g.Offs
 	b.cg.BOffs = core.EnsureLen(b.cg.BOffs, n+1)
 	core.CopyInto(w, b.cg.BOffs, offsets)
-	b.cg.Bytes = core.EnsureLen(b.cg.Bytes, int(total))
-	core.CopyInto(w, b.cg.Bytes, buf)
+	b.cg.Bytes = core.EnsureLen(b.cg.Bytes, int(total)+codecSlack)
+	core.CopyInto(w, b.cg.Bytes[:total], buf)
+	for j := 0; j < codecSlack; j++ {
+		b.cg.Bytes[int(total)+j] = 0
+	}
 	a.Release(am)
 	b.cg.MaxDeg = maxDegreeOf(w, g)
 	b.cg.Shards = ShardsOf(&b.cg, b.cg.Shards)
@@ -335,6 +423,91 @@ func (b *Builder) CompressW(w *core.Worker, wg *WGraph) *CWGraph {
 	b.cwg.CGraph = *b.Compress(w, &wg.Graph)
 	b.cwg.Wgt = wg.Wgt
 	return &b.cwg
+}
+
+// CompressTranspose encodes tg — the transpose of the graph most
+// recently passed to Compress/CompressW on this Builder — and appends
+// its rows to the forward CGraph's byte pool, so both directions
+// stream from one arena (one allocation, one slack pad, contiguous for
+// the beyond-LLC tier). The returned transpose CGraph aliases that
+// shared pool with absolute byte offsets: its BOffs[0] is the forward
+// stream's end, and the forward graph's Bytes is re-aliased to the
+// grown pool (the *CGraph returned by the earlier Compress stays
+// valid; a CWGraph from CompressW needs CompressTransposeW, which
+// re-syncs its embedded struct copy). The encoder is the same
+// certified two-pass pipeline as Compress — the base offset is added
+// after the scan, outside the certified scatter, so the certificate is
+// unchanged. Must be called after Compress; like Compress, the result
+// is valid until the next compressed build on this Builder.
+func (b *Builder) CompressTranspose(w *core.Worker, tg *Graph) *CGraph {
+	n := int(tg.N)
+	adj, offs := tg.Adj, tg.Offs
+	a := arena.Of(w)
+	am := a.Mark()
+	offsets := arena.Alloc[int64](a, n+1)
+	core.ForRange(w, 0, n, 0, func(v int) {
+		offsets[v+1] = int64(encRowSize(int32(v), adj[offs[v]:offs[v+1]]))
+	})
+	total := core.ScanInclusive(w, offsets[1:])
+	buf := arena.AllocUninit[byte](a, total)
+	encode := func(v int, dst []byte) { encodeRow(int32(v), adj[offs[v]:offs[v+1]], dst) }
+	if core.GetMode() == core.ModeChecked {
+		if err := core.IndChunks(w, buf, offsets, encode); err != nil {
+			panic(fmt.Sprintf("graph: CompressTranspose boundary check failed: %v", err))
+		}
+	} else {
+		core.IndChunksUnchecked(w, buf, offsets, encode)
+	}
+	base := b.cg.BOffs[b.cg.N] // forward stream end: transpose rows start here
+	b.ctg.N = tg.N
+	b.ctg.EOffs = tg.Offs
+	b.ctg.BOffs = core.EnsureLen(b.ctg.BOffs, n+1)
+	bo := b.ctg.BOffs
+	bo[0] = base
+	core.ForRange(w, 0, n, 0, func(v int) { bo[v+1] = base + offsets[v+1] })
+	// Grow the pool by hand: EnsureLen does not preserve contents across
+	// a reallocation, and the forward rows must survive the append. The
+	// transpose rows start at base, overwriting the forward stream's old
+	// slack pad; a fresh pad goes after the last transpose row.
+	pool := b.cg.Bytes
+	need := int(base+total) + codecSlack
+	if need <= cap(pool) {
+		pool = pool[:need]
+	} else {
+		grown := make([]byte, need)
+		core.CopyInto(w, grown[:base], pool[:base])
+		pool = grown
+	}
+	core.CopyInto(w, pool[base:base+total], buf)
+	for j := 0; j < codecSlack; j++ {
+		pool[int(base+total)+j] = 0
+	}
+	a.Release(am)
+	b.cg.Bytes = pool
+	b.ctg.Bytes = pool
+	b.ctg.MaxDeg = maxDegreeOf(w, tg)
+	b.ctg.Shards = ShardsOf(&b.ctg, b.ctg.Shards)
+	if core.GetMode() == core.ModeChecked {
+		if err := b.ctg.Validate(); err != nil {
+			panic(fmt.Sprintf("graph: CompressTranspose produced an invalid stream: %v", err))
+		}
+		if err := b.cg.Validate(); err != nil {
+			panic(fmt.Sprintf("graph: CompressTranspose corrupted the forward stream: %v", err))
+		}
+	}
+	return &b.ctg
+}
+
+// CompressTransposeW is CompressTranspose for a weighted transpose
+// (Builder.TransposeW): weights stay uncompressed, aliasing twg.Wgt in
+// sorted row order. It also re-syncs the CWGraph returned by the
+// preceding CompressW, whose embedded CGraph is a struct *copy* of the
+// Builder's and would otherwise keep aliasing the pre-append pool.
+func (b *Builder) CompressTransposeW(w *core.Worker, twg *WGraph) *CWGraph {
+	b.ctwg.CGraph = *b.CompressTranspose(w, &twg.Graph)
+	b.ctwg.Wgt = twg.Wgt
+	b.cwg.CGraph = b.cg
+	return &b.ctwg
 }
 
 // BuildC builds the compressed CSR form of a directed edge list: a

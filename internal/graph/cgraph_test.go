@@ -14,8 +14,8 @@ import (
 func encodeDecodeRow(t *testing.T, v int32, row []int32) {
 	t.Helper()
 	sz := encRowSize(v, row)
-	buf := make([]byte, sz)
-	encodeRow(v, row, buf)
+	buf := make([]byte, sz+codecSlack) // decodeRow needs the slack pad past the encoding
+	encodeRow(v, row, buf[:sz])
 	out := make([]int32, len(row))
 	got := decodeRow(v, buf, int32(len(row)), out)
 	if !slices.Equal(got, row) {
@@ -73,8 +73,8 @@ func TestCodecRoundTripRandomDistributions(t *testing.T) {
 			}
 			v := int32(r.Intn(2000))
 			sz := encRowSize(v, row)
-			buf := make([]byte, sz)
-			encodeRow(v, row, buf)
+			buf := make([]byte, sz+codecSlack)
+			encodeRow(v, row, buf[:sz])
 			out := make([]int32, deg)
 			if got := decodeRow(v, buf, int32(deg), out); !slices.Equal(got, row) {
 				t.Fatalf("regime %d trial %d: decode mismatch", regime, trial)
@@ -197,6 +197,93 @@ func TestFindFirstInMatchesScan(t *testing.T) {
 	}
 }
 
+// TestFindFirstInGroupBoundaries is the group-skipping property test:
+// rows whose lengths straddle every group boundary (full groups, full
+// groups plus a scalar tail, tail-only), with gap widths cycling
+// through 1-, 2-, and 3-byte payloads, probed at every neighbor
+// position and at no position, against the plain linear scan.
+func TestFindFirstInGroupBoundaries(t *testing.T) {
+	gaps := []int32{1, 300, 70_000, 3}
+	for _, deg := range []int{1, 2, 7, 8, 9, 10, 15, 16, 17, 24, 25, 33} {
+		row := make([]int32, deg)
+		u := int32(5)
+		for i := range row {
+			row[i] = u
+			u += gaps[i%len(gaps)]
+		}
+		n := u + 1
+		edges := make([]Edge, deg)
+		for i, nb := range row {
+			edges[i] = Edge{From: 0, To: nb}
+		}
+		var b, cb Builder
+		g := b.BuildSorted(nil, n, edges)
+		c := cb.BuildC(nil, n, edges)
+		words := (int(n) + 63) / 64
+		bm := make([]uint64, words)
+		probe := func() {
+			want := g.FindFirstIn(0, bm)
+			if got := c.FindFirstIn(0, bm); got != want {
+				t.Fatalf("deg %d: compressed FindFirstIn = %d, want %d", deg, got, want)
+			}
+		}
+		probe() // empty bitmap: both must miss
+		for j := deg - 1; j >= 0; j-- {
+			// Set positions back to front, so the expected hit walks
+			// through every group and tail position.
+			bm[uint32(row[j])>>6] |= 1 << (uint32(row[j]) & 63)
+			probe()
+		}
+	}
+}
+
+// TestCompressTransposeSharedPool pins the pool-sharing contract:
+// after CompressTranspose, forward and transpose alias one byte pool,
+// the transpose's offsets are absolute (based at the forward stream's
+// end), both validate, the forward rows decode exactly as before the
+// append, and FootprintBytes charges each direction only its own span.
+func TestCompressTransposeSharedPool(t *testing.T) {
+	edges, n := edgesFor(nil, InputRMAT, ScaleTest, 0x9e)
+	sym := Symmetrize(nil, edges)
+	var b, tb, solo Builder
+	g := b.BuildSorted(nil, n, sym)
+	cg := b.Compress(nil, g)
+	ref := solo.BuildC(nil, n, sym) // forward-only compress for comparison
+	tg := tb.Transpose(nil, g)
+	SortAdjacency(nil, tg)
+	ctg := b.CompressTranspose(nil, tg)
+
+	if &cg.Bytes[0] != &ctg.Bytes[0] || len(cg.Bytes) != len(ctg.Bytes) {
+		t.Fatal("forward and transpose do not alias one pool")
+	}
+	if ctg.BOffs[0] != cg.BOffs[cg.N] {
+		t.Fatalf("transpose base %d, want forward end %d", ctg.BOffs[0], cg.BOffs[cg.N])
+	}
+	wantLen := int(ctg.BOffs[ctg.N]) + codecSlack
+	if len(cg.Bytes) != wantLen {
+		t.Fatalf("pool has %d bytes, want %d (transpose end + slack)", len(cg.Bytes), wantLen)
+	}
+	if err := cg.Validate(); err != nil {
+		t.Fatalf("forward after append: %v", err)
+	}
+	if err := ctg.Validate(); err != nil {
+		t.Fatalf("transpose: %v", err)
+	}
+	checkCompressedEquivalence(t, g, cg)
+	checkCompressedEquivalence(t, tg, ctg)
+	// The append must not disturb the forward encoding.
+	if !bytes.Equal(cg.Bytes[:cg.BOffs[cg.N]], ref.Bytes[:ref.BOffs[ref.N]]) {
+		t.Fatal("forward stream changed by the transpose append")
+	}
+	// Footprint: each direction charges its own byte span, so the pair's
+	// stream mass sums to the pool minus the single slack pad.
+	offsBytes := int64(n+1)*4 + int64(n+1)*8
+	sum := (cg.FootprintBytes() - offsBytes) + (ctg.FootprintBytes() - offsBytes)
+	if sum != int64(len(cg.Bytes)-codecSlack) {
+		t.Fatalf("direction spans sum to %d, pool holds %d", sum, len(cg.Bytes)-codecSlack)
+	}
+}
+
 func TestShardsCoverAndAlign(t *testing.T) {
 	edges, n := edgesFor(nil, InputLink, ScaleTest, 0x5a)
 	sym := Symmetrize(nil, edges)
@@ -234,6 +321,7 @@ func TestBuildDeterministicAcrossWorkers(t *testing.T) {
 	type snap struct {
 		offs, adj []int32
 		boffs     []int64
+		tboffs    []int64
 		enc       []byte
 	}
 	build := func(workers int) snap {
@@ -243,11 +331,15 @@ func TestBuildDeterministicAcrossWorkers(t *testing.T) {
 		pool.Do(func(w *core.Worker) {
 			edges, n := edgesFor(w, InputRMAT, ScaleTest, 0xdef)
 			sym := Symmetrize(w, edges)
-			var b Builder
+			var b, tb Builder
 			c := b.BuildC(w, n, sym)
+			tg := tb.Transpose(w, &b.g)
+			SortAdjacency(w, tg)
+			ct := b.CompressTranspose(w, tg)
 			s.offs = slices.Clone(c.EOffs)
 			s.boffs = slices.Clone(c.BOffs)
-			s.enc = slices.Clone(c.Bytes)
+			s.tboffs = slices.Clone(ct.BOffs)
+			s.enc = slices.Clone(c.Bytes) // the whole shared pool, both directions
 			s.adj = slices.Clone(b.g.Adj)
 		})
 		return s
@@ -260,6 +352,9 @@ func TestBuildDeterministicAcrossWorkers(t *testing.T) {
 		}
 		if !slices.Equal(base.boffs, got.boffs) || !bytes.Equal(base.enc, got.enc) {
 			t.Fatalf("CGraph bytes differ between 1 and %d workers", workers)
+		}
+		if !slices.Equal(base.tboffs, got.tboffs) {
+			t.Fatalf("transpose byte offsets differ between 1 and %d workers", workers)
 		}
 	}
 }

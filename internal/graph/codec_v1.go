@@ -1,0 +1,98 @@
+package graph
+
+// The PR-7 row codec — zigzag first delta, then one LEB128 varint per
+// gap, decoded with a branchy continuation-bit loop — kept intact as
+// the comparison baseline for the decode-bandwidth benchmark family
+// (BenchmarkXLGraphDecode*, docs/GRAPH.md "Compressed CSR"). Nothing
+// in the library decodes v1 streams except V1Rows itself: CGraph is
+// group-varint only, and mixing the two layouts in one pool would be
+// undecodable. The fuzz harness cross-checks the two codecs decode
+// every generated row identically.
+
+// encRowSizeV1 returns the v1 encoded byte size of vertex v's sorted
+// neighbor row.
+func encRowSizeV1(v int32, row []int32) int {
+	if len(row) == 0 {
+		return 0
+	}
+	sz := varintLen(zigzag(int64(row[0]) - int64(v)))
+	prev := row[0]
+	for _, u := range row[1:] {
+		sz += varintLen(uint64(uint32(u - prev)))
+		prev = u
+	}
+	return sz
+}
+
+// encodeRowV1 encodes vertex v's sorted neighbor row into dst, which
+// must be exactly encRowSizeV1(v, row) bytes.
+func encodeRowV1(v int32, row []int32, dst []byte) {
+	if len(row) == 0 {
+		return
+	}
+	k := putVarint(dst, 0, zigzag(int64(row[0])-int64(v)))
+	prev := row[0]
+	for _, u := range row[1:] {
+		k = putVarint(dst, k, uint64(uint32(u-prev)))
+		prev = u
+	}
+	_ = k
+}
+
+// decodeRowV1 decodes vertex v's row from buf into out, which must
+// have room for deg entries, and returns out[:deg]. buf is the row's
+// exact byte segment — v1 decoding never over-reads, so no slack is
+// required.
+func decodeRowV1(v int32, buf []byte, deg int32, out []int32) []int32 {
+	if deg == 0 {
+		return out[:0]
+	}
+	first, k := getVarint(buf, 0)
+	u := int32(int64(v) + unzigzag(first))
+	out[0] = u
+	for i := int32(1); i < deg; i++ {
+		gap, k2 := getVarint(buf, k)
+		k = k2
+		u += int32(gap)
+		out[i] = u
+	}
+	return out[:deg]
+}
+
+// V1Rows is a sorted graph encoded with the v1 scalar codec: the
+// decode-bandwidth benchmarks stream it next to the plain CSR and the
+// group-varint CGraph to price the codec generations against each
+// other.
+type V1Rows struct {
+	N     int32
+	EOffs []int32 // length N+1: edge-rank offsets
+	BOffs []int64 // length N+1: byte offsets into Bytes
+	Bytes []byte  // length BOffs[N]: v1-encoded rows
+}
+
+// EncodeV1 encodes a sorted plain CSR graph with the v1 codec.
+// Sequential — it exists for benchmark setup, not production builds.
+func EncodeV1(g *Graph) *V1Rows {
+	n := int(g.N)
+	r := &V1Rows{N: g.N, EOffs: g.Offs, BOffs: make([]int64, n+1)}
+	for v := 0; v < n; v++ {
+		r.BOffs[v+1] = r.BOffs[v] + int64(encRowSizeV1(int32(v), g.Neighbors(int32(v))))
+	}
+	r.Bytes = make([]byte, r.BOffs[n])
+	for v := 0; v < n; v++ {
+		encodeRowV1(int32(v), g.Neighbors(int32(v)), r.Bytes[r.BOffs[v]:r.BOffs[v+1]])
+	}
+	return r
+}
+
+// Degree returns the out-degree of v.
+func (r *V1Rows) Degree(v int32) int32 { return r.EOffs[v+1] - r.EOffs[v] }
+
+// RowInto decodes v's row into buf and returns buf[:Degree(v)].
+func (r *V1Rows) RowInto(v int32, buf []int32) []int32 {
+	return decodeRowV1(v, r.Bytes[r.BOffs[v]:r.BOffs[v+1]], r.Degree(v), buf)
+}
+
+// StreamBytes is the encoded byte mass — the numerator of the decode
+// GB/s metric.
+func (r *V1Rows) StreamBytes() int64 { return r.BOffs[r.N] }

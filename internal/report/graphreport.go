@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"repro/internal/bench"
 )
@@ -105,6 +106,9 @@ func xlGraphBlock(w io.Writer, path string) error {
 	}
 	names := make([]string, 0, len(xl))
 	for name := range xl {
+		if strings.HasPrefix(name, "BenchmarkXLGraphDecode") {
+			continue // the decode family gets its own table below
+		}
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -127,6 +131,40 @@ func xlGraphBlock(w io.Writer, path string) error {
 		fmt.Fprintf(w, "%s rmat: compressed %.2fx speedup at %.2fx bytes/edge vs plain\n",
 			kernel, plain["ns_op"]/comp["ns_op"], comp["bytes_edge"]/plain["bytes_edge"])
 	}
+	xlDecodeBlock(w, xl)
 	fmt.Fprintln(w)
 	return nil
+}
+
+// xlDecodeBlock renders the decode-bandwidth table from the
+// BenchmarkXLGraphDecode* family: single-thread whole-graph row
+// streaming per codec generation (plain int32 CSR, v1 scalar varint,
+// group-varint forward, group-varint transpose from the shared pool's
+// second half), with the group-vs-v1 edges/ns speedup — the ≥2x
+// acceptance line of the batched-decode work — printed underneath.
+func xlDecodeBlock(w io.Writer, xl map[string]map[string]float64) {
+	rows := []struct{ suffix, label string }{
+		{"Plain", "plain CSR (no decode)"},
+		{"V1", "v1 scalar varint"},
+		{"Group", "group-varint forward"},
+		{"GroupTranspose", "group-varint transpose"},
+	}
+	header := false
+	for _, r := range rows {
+		m, ok := xl["BenchmarkXLGraphDecodeRmat"+r.suffix]
+		if !ok {
+			continue
+		}
+		if !header {
+			fmt.Fprintf(w, "Row-decode bandwidth, rmat (one thread, whole-graph stream):\n")
+			fmt.Fprintf(w, "%-36s %10s %12s %12s\n", "representation", "GB/s", "edges/ns", "bytes/edge")
+			header = true
+		}
+		fmt.Fprintf(w, "%-36s %10.2f %12.3f %12.2f\n", r.label, m["GB_s"], m["edges_ns"], m["enc_bytes_edge"])
+	}
+	v1, okV := xl["BenchmarkXLGraphDecodeRmatV1"]
+	grp, okG := xl["BenchmarkXLGraphDecodeRmatGroup"]
+	if okV && okG && v1["edges_ns"] > 0 {
+		fmt.Fprintf(w, "group-varint decode speedup vs v1: %.2fx edges/ns\n", grp["edges_ns"]/v1["edges_ns"])
+	}
 }
