@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build check test lint certify certify-update races races-update lifetimes lifetimes-update race bench bench-sched bench-mem bench-mem-gate bench-graph bench-graph-gate bench-graph-xl bench-graph-xl-gate report figures inputs clean
+.PHONY: build check test lint certify certify-update races races-update lifetimes lifetimes-update race fuzz-smoke bench bench-sched bench-mem bench-mem-gate bench-graph bench-graph-gate bench-graph-xl bench-graph-xl-gate report figures inputs clean
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,15 @@ lifetimes-update:
 
 race:
 	$(GO) test -race ./...
+
+# Codec fuzz smoke: run FuzzCodecRoundTrip — both varint generations,
+# group-skip probes, shard assembly — for a few wall-clock seconds of
+# mutation on top of the seed corpus. Not a soak; just enough for CI to
+# catch an encoder change that breaks round-tripping on shapes the unit
+# tests don't enumerate.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/graph/
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

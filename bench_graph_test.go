@@ -60,6 +60,49 @@ func BenchmarkGraphSSSPRmat(b *testing.B) { benchGraphKernel(b, "sssp", graph.In
 func BenchmarkGraphSSSPLink(b *testing.B) { benchGraphKernel(b, "sssp", graph.InputLink) }
 func BenchmarkGraphSSSPRoad(b *testing.B) { benchGraphKernel(b, "sssp", graph.InputRoad) }
 
+func BenchmarkGraphCCRmat(b *testing.B)    { benchGraphKernel(b, "cc", graph.InputRMAT) }
+func BenchmarkGraphCCLink(b *testing.B)    { benchGraphKernel(b, "cc", graph.InputLink) }
+func BenchmarkGraphCCRoad(b *testing.B)    { benchGraphKernel(b, "cc", graph.InputRoad) }
+func BenchmarkGraphPRRmat(b *testing.B)    { benchGraphKernel(b, "pr", graph.InputRMAT) }
+func BenchmarkGraphPRLink(b *testing.B)    { benchGraphKernel(b, "pr", graph.InputLink) }
+func BenchmarkGraphPRRoad(b *testing.B)    { benchGraphKernel(b, "pr", graph.InputRoad) }
+func BenchmarkGraphTCRmat(b *testing.B)    { benchGraphKernel(b, "tc", graph.InputRMAT) }
+func BenchmarkGraphTCLink(b *testing.B)    { benchGraphKernel(b, "tc", graph.InputLink) }
+func BenchmarkGraphTCRoad(b *testing.B)    { benchGraphKernel(b, "tc", graph.InputRoad) }
+func BenchmarkGraphKCoreRmat(b *testing.B) { benchGraphKernel(b, "kcore", graph.InputRMAT) }
+func BenchmarkGraphKCoreLink(b *testing.B) { benchGraphKernel(b, "kcore", graph.InputLink) }
+func BenchmarkGraphKCoreRoad(b *testing.B) { benchGraphKernel(b, "kcore", graph.InputRoad) }
+
+// BenchmarkGraphPRRmatCompressed is the ISSUE-10 headline row at the
+// cache-resident tier: the identical pull iteration gathering over the
+// shared-pool compressed transpose instead of plain CSR rows (the XL
+// tier repeats the pair beyond LLC).
+func BenchmarkGraphPRRmatCompressed(b *testing.B) {
+	core.SetMode(core.ModeUnchecked)
+	g := graph.LoadUndirectedSorted(nil, graph.InputRMAT, bench.ScaleSmall, 0x9a6)
+	var cb graph.Builder
+	cg := cb.Compress(nil, g)
+	ctg := cb.CompressTranspose(nil, g)
+	k := bench.NewPRKernel(cg, ctg)
+	k.SetWant(bench.PROracle(cg, ctg, 20))
+	pool := core.NewPool(runtime.GOMAXPROCS(0))
+	defer pool.Close()
+	b.ReportAllocs()
+	pool.Do(func(w *core.Worker) {
+		k.Reset()
+		k.Run(w) // warm-up: grow arena scratch
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.Reset()
+			k.Run(w)
+		}
+		b.StopTimer()
+	})
+	if err := k.Verify(); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkGraphBuildCSR measures the steady state of CSR construction
 // on the rmat edge list — degree count, offset scan, and edge scatter —
 // through a reused graph.Builder, whose buffers grow on the warm-up

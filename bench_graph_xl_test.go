@@ -34,6 +34,7 @@ type xlData struct {
 	cw, ctw  *graph.CWGraph // weighted compressed pair, one shared pool
 	bfsWant  []uint32       // sequential oracle levels from vertex 0
 	ssspWant []uint32       // reference distances from one plain delta-stepping run
+	prWant   []float64      // sequential oracle ranks at xlPRIters rounds
 }
 
 var (
@@ -213,4 +214,132 @@ func BenchmarkXLGraphSSSPRmatPlain(b *testing.B) {
 func BenchmarkXLGraphSSSPRmatCompressed(b *testing.B) {
 	d := xlLoad(b, graph.InputRMAT)
 	benchXLSSSP(b, d.cw, ssspDistOf(d))
+}
+
+// xlPRIters pins the PageRank round count at the XL tier: a fixed
+// number of rounds, far from convergence, so plain and compressed runs
+// do identical work and the comparison is purely the gather substrate.
+const xlPRIters = 5
+
+// prRanksOf computes (once) the bit-exact PageRank reference from the
+// sequential oracle over the plain pair.
+func prRanksOf(d *xlData) []float64 {
+	if d.prWant == nil {
+		d.prWant = bench.PROracle(d.g, d.tg, xlPRIters)
+	}
+	return d.prWant
+}
+
+// benchXLPR times the synchronous pull iteration over one adjacency
+// pair. MTEPS counts transpose edges gathered per round times rounds.
+func benchXLPR[A graph.Adjacency](b *testing.B, g, tg A, want []float64) {
+	core.SetMode(core.ModeUnchecked)
+	k := bench.NewPRKernel(g, tg)
+	k.SetIters(xlPRIters)
+	k.SetWant(want)
+	pool := core.NewPool(runtime.GOMAXPROCS(0))
+	defer pool.Close()
+	b.ReportAllocs()
+	pool.Do(func(w *core.Worker) {
+		runOnce := func() {
+			k.Reset()
+			k.Run(w)
+		}
+		runOnce() // warm-up: grow arena scratch
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runOnce()
+		}
+		b.StopTimer()
+	})
+	if err := k.Verify(); err != nil {
+		b.Fatal(err)
+	}
+	m := float64(g.NumEdges()) * xlPRIters
+	b.ReportMetric(float64(g.FootprintBytes())/float64(g.NumEdges()), "bytes/edge")
+	b.ReportMetric(m/1e6/(b.Elapsed().Seconds()/float64(b.N)), "MTEPS")
+}
+
+func BenchmarkXLGraphPRRmatPlain(b *testing.B) {
+	d := xlLoad(b, graph.InputRMAT)
+	benchXLPR(b, d.g, d.tg, prRanksOf(d))
+}
+
+func BenchmarkXLGraphPRRmatCompressed(b *testing.B) {
+	d := xlLoad(b, graph.InputRMAT)
+	benchXLPR(b, d.cg, d.ctg, prRanksOf(d))
+}
+
+// xlTC holds the ScaleLarge road degree-ordered DAG in both
+// representations plus the oracle count. Separate from xlData because
+// triangle counting needs none of the transpose/weighted machinery the
+// traversal kernels build.
+type xlTC struct {
+	dag  *graph.Graph
+	cdag *graph.CGraph
+	want int64
+}
+
+var (
+	xlTCCache *xlTC
+	xlTCMu    sync.Mutex
+)
+
+func xlTCLoad(b *testing.B) *xlTC {
+	xlTCMu.Lock()
+	defer xlTCMu.Unlock()
+	if xlTCCache != nil {
+		return xlTCCache
+	}
+	d := &xlTC{}
+	pool := core.NewPool(runtime.GOMAXPROCS(0))
+	defer pool.Close()
+	var g *graph.Graph
+	pool.Do(func(w *core.Worker) {
+		g = graph.LoadUndirectedSorted(w, graph.InputRoad, graph.ScaleLarge, 0x7c1)
+	})
+	edges, n := bench.TCOrientEdges(g)
+	pool.Do(func(w *core.Worker) {
+		var bld graph.Builder
+		d.dag = bld.BuildSorted(w, n, edges)
+		var cb graph.Builder
+		d.cdag = cb.Compress(w, d.dag)
+	})
+	d.want = bench.TCOracle(d.dag)
+	xlTCCache = d
+	return d
+}
+
+// benchXLTC times the mark-and-CountIn intersection over one DAG
+// representation. MTEPS counts DAG edges intersected per count.
+func benchXLTC[A graph.Adjacency](b *testing.B, dag A, want int64) {
+	core.SetMode(core.ModeUnchecked)
+	k := bench.NewTCKernel(dag)
+	pool := core.NewPool(runtime.GOMAXPROCS(0))
+	defer pool.Close()
+	b.ReportAllocs()
+	pool.Do(func(w *core.Worker) {
+		k.Run(w) // warm-up: grow arena scratch
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.Run(w)
+		}
+		b.StopTimer()
+	})
+	if k.Count() != want {
+		b.Fatalf("counted %d triangles, want %d", k.Count(), want)
+	}
+	m := float64(dag.NumEdges())
+	b.ReportMetric(float64(dag.FootprintBytes())/m, "bytes/edge")
+	b.ReportMetric(m/1e6/(b.Elapsed().Seconds()/float64(b.N)), "MTEPS")
+}
+
+func BenchmarkXLGraphTCRoadPlain(b *testing.B) {
+	d := xlTCLoad(b)
+	benchXLTC(b, d.dag, d.want)
+}
+
+func BenchmarkXLGraphTCRoadCompressed(b *testing.B) {
+	d := xlTCLoad(b)
+	benchXLTC(b, d.cdag, d.want)
 }

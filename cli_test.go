@@ -143,8 +143,8 @@ func TestCLIRpblint(t *testing.T) {
 	if err := json.Unmarshal([]byte(jsonOut), &rep); err != nil {
 		t.Fatalf("bad -json output: %v\n%s", err, jsonOut)
 	}
-	if len(rep.Census.PerBench) != 14 {
-		t.Errorf("census covers %d benches, want 14", len(rep.Census.PerBench))
+	if len(rep.Census.PerBench) != 18 {
+		t.Errorf("census covers %d benches, want 18", len(rep.Census.PerBench))
 	}
 	if rep.Census.Total == 0 || rep.Census.Irregular == 0 || len(rep.Diags) != 0 {
 		t.Errorf("census total=%d irregular=%d diags=%d", rep.Census.Total, rep.Census.Irregular, len(rep.Diags))

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, dir string, baseline map[string]map[string]float64) string {
+	t.Helper()
+	data, err := json.Marshal(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateReportsAllRegressionsInOneRun pins the gate's diagnosability
+// contract: a run with several regressing benchmarks (and a benchmark
+// missing outright) surfaces every violation from a single invocation,
+// sorted by name, so one CI log names everything that needs fixing.
+func TestGateReportsAllRegressionsInOneRun(t *testing.T) {
+	path := writeBaseline(t, t.TempDir(), map[string]map[string]float64{
+		"BenchmarkA": {"allocs_op": 0},
+		"BenchmarkB": {"allocs_op": 10},
+		"BenchmarkC": {"allocs_op": 5},
+		"BenchmarkD": {"allocs_op": 2},
+	})
+	results := map[string]map[string]float64{
+		"BenchmarkA": {"allocs_op": 50},  // regressed: 50 > 0*1.30+2
+		"BenchmarkB": {"allocs_op": 100}, // regressed: 100 > 10*1.30+2
+		"BenchmarkD": {"allocs_op": 2},   // clean
+		// BenchmarkC missing from the run entirely
+	}
+	bad, err := runGate(path, results, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 3 {
+		t.Fatalf("got %d violations, want 3: %v", len(bad), bad)
+	}
+	for i, wantSub := range []string{"BenchmarkA", "BenchmarkB", "BenchmarkC"} {
+		if !strings.Contains(bad[i], wantSub) {
+			t.Errorf("violation[%d] = %q, want it to name %s", i, bad[i], wantSub)
+		}
+	}
+	if !strings.Contains(bad[2], "missing from this run") {
+		t.Errorf("violation[2] = %q, want a missing-benchmark report", bad[2])
+	}
+}
+
+func TestGateTolerance(t *testing.T) {
+	cases := []struct {
+		old, new float64
+		bad      bool
+	}{
+		{0, 0, false},
+		{0, 2, false}, // exactly at the +2 slack
+		{0, 3, true},
+		{10, 15, false}, // 15 = 10*1.30+2, at the boundary
+		{10, 16, true},
+		{100, 132, false},
+		{100, 133, true},
+	}
+	for _, c := range cases {
+		if got := gateTolerance(c.old, c.new); got != c.bad {
+			t.Errorf("gateTolerance(%v, %v) = %v, want %v", c.old, c.new, got, c.bad)
+		}
+	}
+}
+
+// TestGateBaselineAdd pins the first-appearance path: unknown
+// benchmarks are appended to the baseline file and do not fail the
+// gate, while known benchmarks are still gated in the same run.
+func TestGateBaselineAdd(t *testing.T) {
+	path := writeBaseline(t, t.TempDir(), map[string]map[string]float64{
+		"BenchmarkOld": {"allocs_op": 1},
+	})
+	results := map[string]map[string]float64{
+		"BenchmarkOld": {"allocs_op": 90}, // still gated
+		"BenchmarkNew": {"allocs_op": 40}, // first appearance: tracked, not gated
+	}
+	bad, err := runGate(path, results, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkOld") {
+		t.Fatalf("violations = %v, want exactly the BenchmarkOld regression", bad)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseline map[string]map[string]float64
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		t.Fatal(err)
+	}
+	if got := baseline["BenchmarkNew"]["allocs_op"]; got != 40 {
+		t.Fatalf("BenchmarkNew not appended to baseline: %v", baseline)
+	}
+
+	// A second run of the new benchmark is now gated against the
+	// appended entry.
+	bad, err = runGate(path, map[string]map[string]float64{
+		"BenchmarkOld": {"allocs_op": 1},
+		"BenchmarkNew": {"allocs_op": 80},
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || !strings.Contains(bad[0], "BenchmarkNew") {
+		t.Fatalf("violations = %v, want exactly the BenchmarkNew regression", bad)
+	}
+}

@@ -8,10 +8,12 @@ import (
 	"repro/internal/core"
 )
 
-// TestAllFourteenRegistered checks the suite matches Table 1's roster.
-func TestAllFourteenRegistered(t *testing.T) {
-	want := []string{"bfs", "bw", "dedup", "dr", "hist", "isort", "lrs",
-		"mis", "mm", "msf", "sa", "sf", "sort", "sssp"}
+// TestAllEighteenRegistered checks the suite matches Table 1's roster
+// plus the graph-analytics extension (cc, pr, tc, kcore).
+func TestAllEighteenRegistered(t *testing.T) {
+	want := []string{"bfs", "bw", "cc", "dedup", "dr", "hist", "isort",
+		"kcore", "lrs", "mis", "mm", "msf", "pr", "sa", "sf", "sort",
+		"sssp", "tc"}
 	got := All()
 	if len(got) != len(want) {
 		names := make([]string, len(got))
@@ -162,6 +164,12 @@ func TestTable1PatternRows(t *testing.T) {
 		// machinery (bitmap scatter/pack, word-wise bottom-up scan).
 		"bfs":  {core.RO, core.Stride, core.Block, core.AW},
 		"sssp": {core.AW},
+		// Analytics kernels over the Adjacency seam: each mixes its
+		// regular phases with one scared AW relaxation.
+		"cc":    {core.Stride, core.AW},
+		"pr":    {core.RO, core.Stride, core.Block, core.AW},
+		"tc":    {core.RO, core.Block, core.AW},
+		"kcore": {core.RO, core.Block, core.AW},
 	}
 	c := core.TakeCensus()
 	for name, pats := range want {

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Oracle equivalence of the analytics kernels across representations:
+// CC labels, PageRank ranks (bit-exact float64), triangle counts, and
+// k-core coreness computed over the compressed CSR must match the plain
+// CSR and the sequential oracle on every standard input at ScaleTest
+// and ScaleSmall, in library (pool and sequential) and direct modes.
+
+func TestCCCompressedMatchesPlain(t *testing.T) {
+	pool := core.NewPool(4)
+	defer pool.Close()
+	for _, input := range []string{graph.InputLink, graph.InputRMAT, graph.InputRoad} {
+		for _, scale := range equivScales(t) {
+			t.Run(fmt.Sprintf("%s/scale%d", input, scale), func(t *testing.T) {
+				g := graph.LoadUndirectedSorted(nil, input, scale, 0xcc0)
+				var cb graph.Builder
+				cg := cb.Compress(nil, g)
+				want := ccOracle(g)
+				if cwant := ccOracle(cg); !equalI32(want, cwant) {
+					t.Fatal("sequential oracle differs between representations")
+				}
+				p := newCC(g)
+				c := newCC(cg)
+				p.want, c.want = want, want
+				pool.Do(func(w *core.Worker) { p.runLibrary(w) })
+				if err := p.verify(); err != nil {
+					t.Fatalf("plain pool: %v", err)
+				}
+				pool.Do(func(w *core.Worker) { c.runLibrary(w) })
+				if err := c.verify(); err != nil {
+					t.Fatalf("cgraph pool: %v", err)
+				}
+				c.reset()
+				c.runLibrary(nil)
+				if err := c.verify(); err != nil {
+					t.Fatalf("cgraph sequential: %v", err)
+				}
+				c.runDirect(4)
+				if err := c.verify(); err != nil {
+					t.Fatalf("cgraph direct: %v", err)
+				}
+				if p.stat() != c.stat() {
+					t.Fatalf("component count differs: %d vs %d", p.stat(), c.stat())
+				}
+			})
+		}
+	}
+}
+
+func TestPRCompressedMatchesPlain(t *testing.T) {
+	pool := core.NewPool(4)
+	defer pool.Close()
+	for _, input := range []string{graph.InputLink, graph.InputRMAT, graph.InputRoad} {
+		for _, scale := range equivScales(t) {
+			t.Run(fmt.Sprintf("%s/scale%d", input, scale), func(t *testing.T) {
+				g := graph.LoadUndirectedSorted(nil, input, scale, 0x9a6)
+				// The compressed pull gathers over the pool-sharing
+				// compressed transpose, exactly the XL configuration.
+				var cb graph.Builder
+				cg := cb.Compress(nil, g)
+				ctg := cb.CompressTranspose(nil, g)
+				if &cg.Bytes[0] != &ctg.Bytes[0] {
+					t.Fatal("forward and transpose do not share a byte pool")
+				}
+				want := prOracle(g, g, prMaxIters)
+				if cwant := prOracle(cg, ctg, prMaxIters); !equalF64(want, cwant) {
+					t.Fatal("sequential oracle differs between representations")
+				}
+				p := newPR(g, g)
+				c := newPR(cg, ctg)
+				p.want, c.want = want, want
+				p.reset()
+				pool.Do(func(w *core.Worker) { p.runLibrary(w) })
+				if err := p.verify(); err != nil {
+					t.Fatalf("plain pool: %v", err)
+				}
+				c.reset()
+				pool.Do(func(w *core.Worker) { c.runLibrary(w) })
+				if err := c.verify(); err != nil {
+					t.Fatalf("cgraph pool: %v", err)
+				}
+				if p.rounds != c.rounds {
+					t.Fatalf("convergence rounds differ: %d vs %d", p.rounds, c.rounds)
+				}
+				c.reset()
+				c.runLibrary(nil)
+				if err := c.verify(); err != nil {
+					t.Fatalf("cgraph sequential: %v", err)
+				}
+				c.reset()
+				c.runDirect(4)
+				if err := c.verify(); err != nil {
+					t.Fatalf("cgraph direct: %v", err)
+				}
+			})
+		}
+	}
+}
+
+func TestTCCompressedMatchesPlain(t *testing.T) {
+	pool := core.NewPool(4)
+	defer pool.Close()
+	for _, input := range []string{graph.InputLink, graph.InputRMAT, graph.InputRoad} {
+		for _, scale := range equivScales(t) {
+			t.Run(fmt.Sprintf("%s/scale%d", input, scale), func(t *testing.T) {
+				g := graph.LoadUndirectedSorted(nil, input, scale, 0x7c1)
+				edges, n := tcOrientEdges(g)
+				var b graph.Builder
+				dag := b.BuildSorted(nil, n, edges)
+				var cb graph.Builder
+				cdag := cb.Compress(nil, dag)
+				want := tcOracle(dag)
+				if cwant := tcOracle(cdag); cwant != want {
+					t.Fatalf("sequential oracle differs: %d vs %d", cwant, want)
+				}
+				p := newTC(dag)
+				c := newTC(cdag)
+				p.want, c.want = want, want
+				pool.Do(func(w *core.Worker) { p.runLibrary(w) })
+				if err := p.verify(); err != nil {
+					t.Fatalf("plain pool: %v", err)
+				}
+				pool.Do(func(w *core.Worker) { c.runLibrary(w) })
+				if err := c.verify(); err != nil {
+					t.Fatalf("cgraph pool: %v", err)
+				}
+				c.runLibrary(nil)
+				if err := c.verify(); err != nil {
+					t.Fatalf("cgraph sequential: %v", err)
+				}
+				c.runDirect(4)
+				if err := c.verify(); err != nil {
+					t.Fatalf("cgraph direct: %v", err)
+				}
+			})
+		}
+	}
+}
+
+func TestKCoreCompressedMatchesPlain(t *testing.T) {
+	pool := core.NewPool(4)
+	defer pool.Close()
+	for _, input := range []string{graph.InputLink, graph.InputRMAT, graph.InputRoad} {
+		for _, scale := range equivScales(t) {
+			t.Run(fmt.Sprintf("%s/scale%d", input, scale), func(t *testing.T) {
+				g := graph.LoadUndirected(nil, input, scale, 0x6c0)
+				var cb graph.Builder
+				cg := cb.Compress(nil, graph.LoadUndirectedSorted(nil, input, scale, 0x6c0))
+				want := kcoreOracle(g)
+				if cwant := kcoreOracle(cg); !equalU32(want, cwant) {
+					t.Fatal("sequential oracle differs between representations")
+				}
+				p := newKCore(g)
+				c := newKCore(cg)
+				p.want, c.want = want, want
+				p.reset()
+				pool.Do(func(w *core.Worker) { p.runLibrary(w) })
+				if err := p.verify(); err != nil {
+					t.Fatalf("plain pool: %v", err)
+				}
+				c.reset()
+				pool.Do(func(w *core.Worker) { c.runLibrary(w) })
+				if err := c.verify(); err != nil {
+					t.Fatalf("cgraph pool: %v", err)
+				}
+				c.reset()
+				c.runLibrary(nil)
+				if err := c.verify(); err != nil {
+					t.Fatalf("cgraph sequential: %v", err)
+				}
+				c.reset()
+				c.runDirect(4)
+				if err := c.verify(); err != nil {
+					t.Fatalf("cgraph direct: %v", err)
+				}
+				if p.stat() != c.stat() {
+					t.Fatalf("degeneracy differs: %d vs %d", p.stat(), c.stat())
+				}
+			})
+		}
+	}
+}
+
+func equalI32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalF64(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// tc — triangle counting over the degree-ordered orientation. Setup
+// ranks vertices by (degree, id) and keeps each undirected edge
+// directed from lower to higher rank, so every row of the resulting DAG
+// has O(sqrt(E)) out-degree on the standard inputs and each triangle is
+// stored exactly once (at its lowest-rank corner). The kernel marks one
+// row in a chunk-private bitmap and intersects each out-neighbor's row
+// against it with Adjacency.CountIn — the set-intersection dual of the
+// frontier-probe FindFirstIn: on the compressed shards it counts
+// straight off the group-decode loop without materializing the neighbor
+// slice. Chunk subtotals land in one fetch-add, the kernel's scared AW
+// site; the total is an integer, so any execution order produces the
+// oracle's count.
+
+type tcInstance[A graph.Adjacency] struct {
+	dag    A // degree-ordered orientation, sorted rows
+	count  int64
+	want   int64
+	maxDeg int
+}
+
+func newTC[A graph.Adjacency](dag A) *tcInstance[A] {
+	return &tcInstance[A]{dag: dag, maxDeg: int(dag.MaxDegree())}
+}
+
+func (t *tcInstance[A]) runLibrary(w *core.Worker) {
+	n := int(t.dag.NumVertices())
+	words := (n + 63) / 64
+	var total atomic.Int64
+	// Coarse grain: each chunk zeroes a words-long arena bitmap once,
+	// so chunks must amortize that over many rows.
+	grain := n / 256
+	if grain < 1024 {
+		grain = 1024
+	}
+	body := func(ww *core.Worker, lo, hi int) {
+		a := arena.Of(ww)
+		am := a.Mark()
+		// zeroed chunk-private mark bitmap
+		//lint:scared bm transits through the Adjacency.CountIn dynamic call, which only reads it; the checkout is released at the end of this chunk body
+		bm := arena.Alloc[uint64](a, words)
+		buf := arena.AllocUninit[int32](a, t.maxDeg)
+		var cnt int64
+		for v := lo; v < hi; v++ {
+			row := t.dag.RowInto(int32(v), buf)
+			if len(row) < 2 {
+				continue
+			}
+			for _, u := range row {
+				bm[uint32(u)>>6] |= 1 << (uint32(u) & 63)
+			}
+			for _, u := range row {
+				cnt += t.dag.CountIn(u, bm)
+			}
+			for _, u := range row {
+				bm[uint32(u)>>6] &^= 1 << (uint32(u) & 63)
+			}
+		}
+		a.Release(am)
+		total.Add(cnt)
+	}
+	if w == nil {
+		body(nil, 0, n)
+	} else {
+		w.For(0, n, grain, body)
+	}
+	t.count = total.Load()
+}
+
+// runDirect is the hand-rolled baseline: the same mark-and-count over
+// statically chunked goroutines with per-goroutine heap bitmaps.
+func (t *tcInstance[A]) runDirect(nThreads int) {
+	n := int(t.dag.NumVertices())
+	words := (n + 63) / 64
+	var total atomic.Int64
+	directFor(nThreads, n, func(lo, hi int) {
+		bm := make([]uint64, words)
+		buf := make([]int32, t.maxDeg)
+		var cnt int64
+		for v := lo; v < hi; v++ {
+			row := t.dag.RowInto(int32(v), buf)
+			if len(row) < 2 {
+				continue
+			}
+			for _, u := range row {
+				bm[uint32(u)>>6] |= 1 << (uint32(u) & 63)
+			}
+			for _, u := range row {
+				cnt += t.dag.CountIn(u, bm)
+			}
+			for _, u := range row {
+				bm[uint32(u)>>6] &^= 1 << (uint32(u) & 63)
+			}
+		}
+		total.Add(cnt)
+	})
+	t.count = total.Load()
+}
+
+func (t *tcInstance[A]) verify() error {
+	if t.count != t.want {
+		return fmt.Errorf("tc: counted %d triangles, want %d", t.count, t.want)
+	}
+	return nil
+}
+
+func (t *tcInstance[A]) stat() int64 { return t.count }
+
+// tcOrientEdges builds the degree-ordered orientation of a symmetric
+// graph: vertices ranked by (degree, id), each undirected edge kept
+// only in its lower-rank endpoint's row. Setup-time helper — allocates
+// freely.
+func tcOrientEdges(g *graph.Graph) ([]graph.Edge, int32) {
+	n := g.NumVertices()
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := g.Degree(order[a]), g.Degree(order[b])
+		if da != db {
+			return da < db
+		}
+		return order[a] < order[b]
+	})
+	rank := make([]int32, n)
+	for r, v := range order {
+		rank[v] = int32(r)
+	}
+	edges := make([]graph.Edge, 0, g.NumEdges()/2)
+	buf := make([]int32, g.MaxDegree())
+	for v := int32(0); v < n; v++ {
+		for _, u := range g.RowInto(v, buf) {
+			if rank[v] < rank[u] {
+				edges = append(edges, graph.Edge{From: v, To: u})
+			}
+		}
+	}
+	return edges, n
+}
+
+// tcOracle counts triangles sequentially with sorted two-pointer row
+// intersection — a different intersection algorithm than the kernel's
+// bitmap CountIn, so agreement checks the counting logic, not just the
+// schedule.
+func tcOracle[A graph.Adjacency](dag A) int64 {
+	n := dag.NumVertices()
+	rowV := make([]int32, dag.MaxDegree())
+	bufV := make([]int32, dag.MaxDegree())
+	bufU := make([]int32, dag.MaxDegree())
+	var cnt int64
+	for v := int32(0); v < n; v++ {
+		row := append(rowV[:0], dag.RowInto(v, bufV)...)
+		for _, u := range row {
+			ru := dag.RowInto(u, bufU)
+			i, j := 0, 0
+			for i < len(row) && j < len(ru) {
+				switch {
+				case row[i] < ru[j]:
+					i++
+				case row[i] > ru[j]:
+					j++
+				default:
+					cnt++
+					i++
+					j++
+				}
+			}
+		}
+	}
+	return cnt
+}
+
+func init() {
+	core.DeclareSite("tc", "orient: degree-ranked DAG rows read", core.RO)
+	core.DeclareSite("tc", "mark: chunk-private neighbor bitmap set/clear", core.Block)
+	core.DeclareSite("tc", "count: chunk triangle-subtotal fetch-add", core.AW)
+
+	Register(Spec{
+		Name:   "tc",
+		Long:   "triangle counting",
+		Inputs: []string{graph.InputLink, graph.InputRMAT, graph.InputRoad},
+		Make: func(input string, scale Scale) *Instance {
+			g := graph.LoadUndirectedSorted(nil, input, scale, 0x7c1)
+			edges, n := tcOrientEdges(g)
+			var b graph.Builder
+			dag := b.BuildSorted(nil, n, edges)
+			t := newTC(dag)
+			t.want = tcOracle(dag)
+			return &Instance{
+				RunLibrary: t.runLibrary,
+				RunDirect:  t.runDirect,
+				Verify:     t.verify,
+				Stat:       t.stat,
+			}
+		},
+	})
+}

@@ -80,3 +80,63 @@ func (k *SSSPKernel[A]) Dist() []uint32 { return k.s.dist }
 
 // DijkstraOracle computes exact shortest-path distances sequentially.
 func DijkstraOracle[A graph.WAdjacency](g A, src int32) []uint32 { return dijkstraOracle(g, src) }
+
+// PRKernel is a synchronous pull-mode PageRank over any adjacency pair
+// (forward g for out-degrees, transpose tg for the gathers). For a
+// compressed configuration, pass the pool-sharing compressed transpose
+// (graph.Builder.CompressTranspose) so every gather streams compressed
+// rows.
+type PRKernel[A graph.Adjacency] struct{ p *prInstance[A] }
+
+// NewPRKernel builds a reusable PageRank instance.
+func NewPRKernel[A graph.Adjacency](g, tg A) *PRKernel[A] {
+	return &PRKernel[A]{p: newPR(g, tg)}
+}
+
+// SetIters caps the round count — the XL tier pins a fixed number of
+// rounds so plain and compressed runs do identical work.
+func (k *PRKernel[A]) SetIters(n int) { k.p.iters = n }
+
+// Reset restores the uniform initial rank vector.
+func (k *PRKernel[A]) Reset() { k.p.reset() }
+
+// Run executes the pull iteration on w's pool (sequential if w is nil).
+func (k *PRKernel[A]) Run(w *core.Worker) { k.p.runLibrary(w) }
+
+// Ranks exposes the rank vector of the last run (callers must not
+// mutate it).
+func (k *PRKernel[A]) Ranks() []float64 { return k.p.rank }
+
+// SetWant installs the oracle ranks Verify checks against, bit-exact.
+func (k *PRKernel[A]) SetWant(want []float64) { k.p.want = want }
+
+// Verify checks ranks against the oracle bit-for-bit.
+func (k *PRKernel[A]) Verify() error { return k.p.verify() }
+
+// PROracle runs the identical blocked PageRank arithmetic sequentially.
+func PROracle[A graph.Adjacency](g, tg A, iters int) []float64 { return prOracle(g, tg, iters) }
+
+// TCKernel counts triangles on a degree-ordered DAG adjacency.
+type TCKernel[A graph.Adjacency] struct{ t *tcInstance[A] }
+
+// NewTCKernel builds a reusable triangle counter over dag (sorted rows,
+// each undirected edge stored once, low rank to high rank — see
+// TCOrientEdges).
+func NewTCKernel[A graph.Adjacency](dag A) *TCKernel[A] {
+	return &TCKernel[A]{t: newTC(dag)}
+}
+
+// Run executes one count on w's pool (sequential if w is nil).
+func (k *TCKernel[A]) Run(w *core.Worker) { k.t.runLibrary(w) }
+
+// Count returns the triangle total of the last run.
+func (k *TCKernel[A]) Count() int64 { return k.t.count }
+
+// TCOrientEdges builds the degree-ordered orientation edge list of a
+// symmetric graph; feed it to graph.Builder.BuildSorted (and Compress)
+// to get the DAG adjacency TCKernel consumes.
+func TCOrientEdges(g *graph.Graph) ([]graph.Edge, int32) { return tcOrientEdges(g) }
+
+// TCOracle counts triangles sequentially by sorted two-pointer row
+// intersection.
+func TCOracle[A graph.Adjacency](dag A) int64 { return tcOracle(dag) }

@@ -76,6 +76,13 @@ type Adjacency interface {
 	// representation so compressed rows decode incrementally and stop
 	// at the first hit.
 	FindFirstIn(v int32, bm []uint64) int32
+	// CountIn returns how many neighbors of v have their bit set in bm
+	// — the sorted-row intersection primitive of triangle counting
+	// (mark one row in a bitmap, CountIn each of its neighbors' rows
+	// against it). Unlike FindFirstIn it always walks the whole row,
+	// but a compressed representation still counts in-place off the
+	// group decode loop, never materializing the neighbor slice.
+	CountIn(v int32, bm []uint64) int64
 	// ByteOffset is v's position in the representation's edge stream,
 	// in bytes; ShardsOf balances shard byte mass with it.
 	ByteOffset(v int32) int64
@@ -124,6 +131,15 @@ func (g *Graph) FindFirstIn(v int32, bm []uint64) int32 {
 		}
 	}
 	return -1
+}
+
+// CountIn counts the neighbors of v whose bit is set in bm.
+func (g *Graph) CountIn(v int32, bm []uint64) int64 {
+	var n int64
+	for _, u := range g.Adj[g.Offs[v]:g.Offs[v+1]] {
+		n += int64(bm[uint32(u)>>6] >> (uint32(u) & 63) & 1)
+	}
+	return n
 }
 
 // ByteOffset is v's byte position in the plain adjacency array.
@@ -215,6 +231,46 @@ func (c *CGraph) FindFirstIn(v int32, bm []uint64) int32 {
 		}
 	}
 	return -1
+}
+
+// CountIn counts the neighbors of v whose bit is set in bm,
+// reconstructing the row through the same unrolled group stanzas as
+// FindFirstIn but folding a branch-free membership bit per gap instead
+// of exiting on the first hit — the whole row always decodes, since an
+// intersection needs every element.
+func (c *CGraph) CountIn(v int32, bm []uint64) int64 {
+	deg := c.Degree(v)
+	if deg == 0 {
+		return 0
+	}
+	buf := c.Bytes[c.BOffs[v]:]
+	first, k := getVarint(buf, 0)
+	u := int32(int64(v) + unzigzag(first))
+	n := int64(bm[uint32(u)>>6] >> (uint32(u) & 63) & 1)
+	i := int32(1)
+	for ; i+gvGroup <= deg; i += gvGroup {
+		c0, c1 := buf[k], buf[k+1]
+		k += gvCtrl
+		m, f := &gvMasks[c0], &gvOffs[c0]
+		for j := 0; j < 4; j++ {
+			u += int32(load32(buf, k+int(f[j])) & m[j])
+			n += int64(bm[uint32(u)>>6] >> (uint32(u) & 63) & 1)
+		}
+		k += int(gvTot[c0])
+		m, f = &gvMasks[c1], &gvOffs[c1]
+		for j := 0; j < 4; j++ {
+			u += int32(load32(buf, k+int(f[j])) & m[j])
+			n += int64(bm[uint32(u)>>6] >> (uint32(u) & 63) & 1)
+		}
+		k += int(gvTot[c1])
+	}
+	for ; i < deg; i++ {
+		var gap uint64
+		gap, k = getVarint(buf, k)
+		u += int32(gap)
+		n += int64(bm[uint32(u)>>6] >> (uint32(u) & 63) & 1)
+	}
+	return n
 }
 
 // ByteOffset is v's byte position in the compressed stream.

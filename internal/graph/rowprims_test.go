@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"testing"
+)
+
+func setBit(bm []uint64, u int32)   { bm[uint32(u)>>6] |= 1 << (uint32(u) & 63) }
+func clearBit(bm []uint64, u int32) { bm[uint32(u)>>6] &^= 1 << (uint32(u) & 63) }
+
+// Edge-shape coverage for the three row primitives the analytics
+// kernels sit on — RowInto, FindFirstIn, CountIn — on the row shapes
+// the codec's fast paths treat specially: degree-0 vertices (no first
+// varint at all), rows of exactly one control group, and rows on both
+// sides of shard boundaries, where the 64-aligned split must not
+// disturb the per-row byte offsets the decoder seeks by.
+
+// singleGroupGraph builds a directed graph whose non-empty rows are
+// exactly one group wide (first varint + 8 grouped gaps = 9 neighbors)
+// with degree-0 rows sprinkled through, sized so the compressed form
+// spans several shards.
+func singleGroupGraph(t *testing.T) (*Graph, *CGraph) {
+	t.Helper()
+	const n = 96 << 10
+	edges := make([]Edge, 0, n*9)
+	for v := int32(0); v < n; v++ {
+		if v%17 == 0 {
+			continue // degree-0 row
+		}
+		for j := int32(0); j < 9; j++ {
+			edges = append(edges, Edge{From: v, To: (v + 64*j + 1) % n})
+		}
+	}
+	var b Builder
+	g := b.BuildSorted(nil, n, edges)
+	var cb Builder
+	cg := cb.Compress(nil, g)
+	if len(cg.Shards) < 2 {
+		t.Fatalf("want multiple shards, got %d", len(cg.Shards))
+	}
+	return g, cg
+}
+
+func TestRowPrimitivesDegreeZeroAndSingleGroup(t *testing.T) {
+	g, cg := singleGroupGraph(t)
+	n := g.NumVertices()
+	words := (int(n) + 63) / 64
+	bm := make([]uint64, words)
+	pbuf := make([]int32, g.MaxDegree())
+	cbuf := make([]int32, cg.MaxDegree())
+	for v := int32(0); v < n; v++ {
+		prow := g.RowInto(v, pbuf)
+		crow := cg.RowInto(v, cbuf)
+		if len(prow) != len(crow) {
+			t.Fatalf("row %d: len %d vs %d", v, len(prow), len(crow))
+		}
+		for i := range prow {
+			if prow[i] != crow[i] {
+				t.Fatalf("row %d[%d]: %d vs %d", v, i, prow[i], crow[i])
+			}
+		}
+		if v%17 == 0 {
+			if len(crow) != 0 {
+				t.Fatalf("row %d: want degree 0, got %d", v, len(crow))
+			}
+		} else if len(crow) != 9 {
+			t.Fatalf("row %d: want single-group degree 9, got %d", v, len(crow))
+		}
+
+		// Empty bitmap: no hit, count 0 — and for degree-0 rows this
+		// holds for every bitmap.
+		if got := cg.FindFirstIn(v, bm); got != -1 {
+			t.Fatalf("row %d: FindFirstIn on empty bitmap = %d", v, got)
+		}
+		if got := cg.CountIn(v, bm); got != 0 {
+			t.Fatalf("row %d: CountIn on empty bitmap = %d", v, got)
+		}
+		if len(crow) == 0 {
+			continue
+		}
+		// Only the last neighbor set: FindFirstIn must decode through
+		// the whole group to the final gap.
+		last := crow[len(crow)-1]
+		setBit(bm, last)
+		if got := cg.FindFirstIn(v, bm); got != last {
+			t.Fatalf("row %d: FindFirstIn(last) = %d, want %d", v, got, last)
+		}
+		if got, want := cg.CountIn(v, bm), g.CountIn(v, bm); got != want {
+			t.Fatalf("row %d: CountIn(last) = %d, want %d", v, got, want)
+		}
+		clearBit(bm, last)
+		// All neighbors set: first gap must hit.
+		for _, u := range crow {
+			setBit(bm, u)
+		}
+		if got := cg.FindFirstIn(v, bm); got != crow[0] {
+			t.Fatalf("row %d: FindFirstIn(all) = %d, want %d", v, got, crow[0])
+		}
+		if got := cg.CountIn(v, bm); got != int64(len(crow)) {
+			t.Fatalf("row %d: CountIn(all) = %d, want %d", v, got, len(crow))
+		}
+		for _, u := range crow {
+			clearBit(bm, u)
+		}
+	}
+}
+
+// TestRowPrimitivesAtShardBoundaries checks the vertices straddling
+// every shard split: the last row of one shard and the first row of the
+// next must decode, probe, and count identically to plain CSR, and the
+// splits themselves must be 64-aligned and cover [0, n).
+func TestRowPrimitivesAtShardBoundaries(t *testing.T) {
+	g, cg := singleGroupGraph(t)
+	n := g.NumVertices()
+	words := (int(n) + 63) / 64
+	bm := make([]uint64, words)
+	for i := range bm {
+		bm[i] = 0x9249249249249249 // every third vertex
+	}
+	pbuf := make([]int32, g.MaxDegree())
+	cbuf := make([]int32, cg.MaxDegree())
+	if lo := cg.Shards[0].Lo; lo != 0 {
+		t.Fatalf("first shard starts at %d", lo)
+	}
+	if hi := cg.Shards[len(cg.Shards)-1].Hi; hi != n {
+		t.Fatalf("last shard ends at %d, want %d", hi, n)
+	}
+	for si := 1; si < len(cg.Shards); si++ {
+		b := cg.Shards[si].Lo
+		if cg.Shards[si-1].Hi != b {
+			t.Fatalf("shard %d: gap at %d vs %d", si, cg.Shards[si-1].Hi, b)
+		}
+		if b%64 != 0 {
+			t.Fatalf("shard %d: boundary %d not 64-aligned", si, b)
+		}
+		for _, v := range []int32{b - 1, b} {
+			prow := g.RowInto(v, pbuf)
+			crow := cg.RowInto(v, cbuf)
+			if len(prow) != len(crow) {
+				t.Fatalf("boundary row %d: len %d vs %d", v, len(prow), len(crow))
+			}
+			for i := range prow {
+				if prow[i] != crow[i] {
+					t.Fatalf("boundary row %d[%d]: %d vs %d", v, i, prow[i], crow[i])
+				}
+			}
+			if got, want := cg.FindFirstIn(v, bm), g.FindFirstIn(v, bm); got != want {
+				t.Fatalf("boundary row %d: FindFirstIn = %d, want %d", v, got, want)
+			}
+			if got, want := cg.CountIn(v, bm), g.CountIn(v, bm); got != want {
+				t.Fatalf("boundary row %d: CountIn = %d, want %d", v, got, want)
+			}
+		}
+	}
+}

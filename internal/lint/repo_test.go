@@ -33,8 +33,8 @@ func TestStaticCensusMatchesRuntime(t *testing.T) {
 	static := rep.Census.ToCoreCensus()
 	runtime := core.TakeCensus()
 
-	if len(runtime.Benches) != 14 {
-		t.Fatalf("runtime census has %d benches, want 14: %v", len(runtime.Benches), runtime.Benches)
+	if len(runtime.Benches) != 18 {
+		t.Fatalf("runtime census has %d benches, want 18: %v", len(runtime.Benches), runtime.Benches)
 	}
 	if !reflect.DeepEqual(static.Benches, runtime.Benches) {
 		t.Fatalf("bench sets differ: static %v, runtime %v", static.Benches, runtime.Benches)

@@ -122,14 +122,17 @@ func xlGraphBlock(w io.Writer, path string) error {
 		}
 		fmt.Fprintf(w, "%-36s %14.0f %12.2f %12s\n", name, m["ns_op"], m["bytes_edge"], eps)
 	}
-	for _, kernel := range []string{"BFS", "SSSP"} {
-		plain, okP := xl["BenchmarkXLGraph"+kernel+"RmatPlain"]
-		comp, okC := xl["BenchmarkXLGraph"+kernel+"RmatCompressed"]
+	for _, pair := range []struct{ kernel, input string }{
+		{"BFS", "Rmat"}, {"SSSP", "Rmat"}, {"PR", "Rmat"}, {"TC", "Road"},
+	} {
+		plain, okP := xl["BenchmarkXLGraph"+pair.kernel+pair.input+"Plain"]
+		comp, okC := xl["BenchmarkXLGraph"+pair.kernel+pair.input+"Compressed"]
 		if !okP || !okC || comp["ns_op"] <= 0 || plain["bytes_edge"] <= 0 {
 			continue
 		}
-		fmt.Fprintf(w, "%s rmat: compressed %.2fx speedup at %.2fx bytes/edge vs plain\n",
-			kernel, plain["ns_op"]/comp["ns_op"], comp["bytes_edge"]/plain["bytes_edge"])
+		fmt.Fprintf(w, "%s %s: compressed %.2fx speedup at %.2fx bytes/edge vs plain\n",
+			pair.kernel, strings.ToLower(pair.input),
+			plain["ns_op"]/comp["ns_op"], comp["bytes_edge"]/plain["bytes_edge"])
 	}
 	xlDecodeBlock(w, xl)
 	fmt.Fprintln(w)

@@ -15,7 +15,8 @@ func TestTable1ContainsAllBenchmarks(t *testing.T) {
 	Table1(&sb)
 	out := sb.String()
 	for _, name := range []string{"bw", "lrs", "sa", "dr", "mis", "mm", "sf",
-		"msf", "sort", "dedup", "hist", "isort", "bfs", "sssp"} {
+		"msf", "sort", "dedup", "hist", "isort", "bfs", "sssp",
+		"cc", "pr", "tc", "kcore"} {
 		if !strings.Contains(out, name+" ") && !strings.Contains(out, "\n"+name) {
 			t.Errorf("Table 1 missing %s:\n%s", name, out)
 		}
@@ -57,7 +58,7 @@ func TestFig3ReportsIrregularShare(t *testing.T) {
 	if !strings.Contains(out, "irregular") {
 		t.Errorf("Fig 3 missing irregular summary:\n%s", out)
 	}
-	if !strings.Contains(out, "all 14 benchmarks contain irregular parallelism") {
+	if !strings.Contains(out, "all 18 benchmarks contain irregular parallelism") {
 		t.Errorf("Fig 3 missing Sec 7.2 claim:\n%s", out)
 	}
 }

@@ -92,6 +92,80 @@ func TestConcurrentUnionsChain(t *testing.T) {
 	}
 }
 
+// TestConcurrentUnionFindStress drives mixed Union/Find traffic from
+// every worker over a random edge soup — the access pattern of the CC
+// finish phase, where finds chase parents that other workers are
+// concurrently hooking and halving. Run under -race in CI. The final
+// structure must match a sequential union-find over the same edges both
+// in membership and in exact labels (Union hooks the higher-id root
+// under the lower, so every component's root is its minimum id
+// regardless of interleaving), and a second pass must be idempotent.
+func TestConcurrentUnionFindStress(t *testing.T) {
+	const n = 30000
+	const nEdges = 4 * n
+	edges := make([][2]int32, nEdges)
+	s := uint64(0x5eed)
+	rnd := func() uint64 {
+		// xorshift: deterministic edge soup, no rand dependency
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		return s
+	}
+	for i := range edges {
+		edges[i] = [2]int32{int32(rnd() % n), int32(rnd() % n)}
+	}
+	u := New(n)
+	p := core.NewPool(8)
+	defer p.Close()
+	p.Do(func(w *core.Worker) {
+		core.ForRange(w, 0, nEdges, 0, func(i int) {
+			e := edges[i]
+			u.Union(e[0], e[1])
+			// Interleave finds on unrelated vertices: path halving
+			// races against concurrent hooks.
+			u.Find(int32(i) % n)
+		})
+	})
+
+	seq := New(n)
+	for _, e := range edges {
+		seq.Union(e[0], e[1])
+	}
+	for v := int32(0); v < n; v++ {
+		if got, want := u.Find(v), seq.Find(v); got != want {
+			t.Fatalf("label[%d] = %d, want %d", v, got, want)
+		}
+	}
+	if u.Components() != seq.Components() {
+		t.Fatalf("components = %d, want %d", u.Components(), seq.Components())
+	}
+
+	// Idempotence: replaying the whole edge soup (concurrently again)
+	// merges nothing and moves no label.
+	before := make([]int32, n)
+	for v := int32(0); v < n; v++ {
+		before[v] = u.Find(v)
+	}
+	var merges int64
+	p.Do(func(w *core.Worker) {
+		merges = core.MapReduce(w, nEdges, int64(0), func(i int) int64 {
+			if u.Union(edges[i][0], edges[i][1]) {
+				return 1
+			}
+			return 0
+		}, func(a, b int64) int64 { return a + b })
+	})
+	if merges != 0 {
+		t.Fatalf("replay merged %d pairs, want 0", merges)
+	}
+	for v := int32(0); v < n; v++ {
+		if u.Find(v) != before[v] {
+			t.Fatalf("label[%d] moved on replay: %d -> %d", v, before[v], u.Find(v))
+		}
+	}
+}
+
 func TestConcurrentUnionsCountMerges(t *testing.T) {
 	// Exactly n-1 unions can succeed when building a tree over n nodes,
 	// no matter the interleaving.
